@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full paper-scale sweeps (all seven
+network sizes, seven-point load curves, longer measurement windows).
+The default is a reduced but shape-preserving configuration so the whole
+benchmark suite finishes in a few minutes.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def graph_sizes() -> tuple[int, ...]:
+    """Network sizes for the Fig. 7-9 sweeps (always full: they are cheap)."""
+    return (32, 64, 128, 256, 512, 1024, 2048)
+
+
+@pytest.fixture(scope="session")
+def sim_loads() -> tuple[float, ...]:
+    """Offered loads (Gbit/s/host) for the Fig. 10 curves."""
+    if FULL:
+        return (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
+    return (1.0, 4.0, 8.0, 12.0)
+
+
+@pytest.fixture(scope="session")
+def sim_config():
+    from repro.sim import SimConfig
+
+    if FULL:
+        return SimConfig(warmup_ns=10_000, measure_ns=30_000, drain_ns=40_000, seed=1)
+    return SimConfig(warmup_ns=4_000, measure_ns=12_000, drain_ns=24_000, seed=1)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The figure benches are measurements of a whole experiment, not
+    microbenchmarks; one round keeps the suite fast while still
+    recording wall time per experiment in the benchmark table.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

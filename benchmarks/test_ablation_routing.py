@@ -1,0 +1,66 @@
+"""Routing-scheme ablation on the 64-switch DSN and torus.
+
+Compares, under uniform traffic:
+
+* the paper's Section VII scheme (minimal-adaptive + up*/down* escape);
+* pure up*/down* (the deadlock-free baseline the escape is built from);
+* the DSN custom routing (deterministic, Section VII-B);
+* minimal-adaptive with custom-routing escape -- the paper's Section
+  VIII future work ("deadlock-free minimal custom routing on DSNs"),
+  which needs no global spanning tree;
+* DOR with VC datelines on the torus (its native routing) -- checking
+  that up*/down* did not unfairly handicap the torus in Fig. 10.
+"""
+
+from conftest import once
+
+from repro.experiments import run_curve
+from repro.sim import SimConfig
+from repro.util import format_table
+
+CFG = SimConfig(warmup_ns=4000, measure_ns=12000, drain_ns=24000, seed=2)
+LOADS = (2.0, 8.0)
+
+
+def test_routing_scheme_ablation(benchmark):
+    def sweep():
+        rows = []
+        for kind, routing in (
+            ("dsn", "adaptive"),
+            ("dsn", "updown"),
+            ("dsn_v", "custom"),
+            ("dsn_v", "minimal_custom"),
+            ("torus", "adaptive"),
+            ("torus", "dor"),
+        ):
+            curve = run_curve(kind, "uniform", loads=LOADS, n=64, config=CFG,
+                              seed=1, routing=routing)
+            for p in curve.points:
+                rows.append([
+                    curve.topology, routing, p.offered_gbps,
+                    round(p.accepted_gbps, 2), round(p.avg_latency_ns, 1),
+                    round(p.avg_hops, 2),
+                ])
+        return rows
+
+    rows = once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["topology", "routing", "offered", "accepted", "avg_lat_ns", "hops"],
+        rows,
+        title="Routing-scheme ablation, uniform traffic, 64 switches",
+    ))
+
+    def lat(topo_prefix, routing, load):
+        return next(
+            r[4] for r in rows
+            if r[0].startswith(topo_prefix) and r[1] == routing and r[2] == load
+        )
+
+    # Adaptivity helps: adaptive+escape beats pure up*/down* at load.
+    assert lat("DSN", "adaptive", 8.0) < lat("DSN", "updown", 8.0)
+    # The future-work scheme beats the plain custom routing at low load
+    # (minimal paths) -- the point of making the custom routing minimal.
+    assert lat("DSN-V", "minimal_custom", 2.0) < lat("DSN-V", "custom", 2.0)
+    # DOR does not change the torus's standing vs DSN at low load.
+    assert lat("DSN", "adaptive", 2.0) < lat("Torus", "dor", 2.0)

@@ -1,0 +1,69 @@
+"""Design-choice ablation E25: why p = ceil(log2 n)?
+
+The construction fixes the super-node size at ``p = ceil(log2 n)``:
+exactly enough shortcut levels that the longest spans half the ring and
+the shortest is local. This ablation sweeps p around the natural value
+and measures the trade-off the choice optimizes:
+
+* smaller p -> fewer shortcut levels -> the distance-halving chain
+  bottoms out early and routing/diameter degrade;
+* larger p -> shortcuts are rarer per node (lower degree, less cable)
+  but each super node is a longer local walk -> hops degrade again;
+* the natural p sits at the knee: near-minimal hops at near-minimal
+  cable.
+"""
+
+from conftest import once
+
+from repro.analysis import analyze
+from repro.core import DSNTopology, dsn_route
+from repro.layout import average_cable_length
+from repro.util import format_table, ilog2_ceil
+
+
+def test_supernode_size_tradeoff(benchmark):
+    n = 512
+    natural = ilog2_ceil(n)
+
+    def sweep():
+        rows = []
+        for p in (natural - 4, natural - 2, natural, natural + 3, natural + 9):
+            topo = DSNTopology(n, p=p)
+            m = analyze(topo)
+            worst = max(
+                dsn_route(topo, s, t).length
+                for s in range(0, n, 7)
+                for t in range(0, n, 11)
+            )
+            rows.append([
+                p,
+                "(natural)" if p == natural else "",
+                m.diameter,
+                round(m.aspl, 3),
+                round(m.average_degree, 2),
+                round(average_cable_length(topo), 2),
+                worst,
+            ])
+        return rows
+
+    rows = once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["p", "", "diameter", "aspl", "avg_deg", "avg_cable_m", "rt_worst"],
+        rows,
+        title=f"Super-node size ablation at n={n} (natural p={natural})",
+    ))
+
+    by_p = {r[0]: r for r in rows}
+    nat = by_p[natural]
+    # The natural p is on the hop-metric pareto front: no swept p both
+    # beats its ASPL *and* its cable.
+    for p, row in by_p.items():
+        if p == natural:
+            continue
+        assert not (row[3] < nat[3] and row[5] < nat[5]), (
+            f"p={p} dominates the natural choice"
+        )
+    # Far-off p values clearly degrade hops.
+    assert by_p[natural + 9][3] > 1.3 * nat[3]
+    assert by_p[natural - 4][6] > 1.5 * nat[6]

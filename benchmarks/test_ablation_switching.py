@@ -1,0 +1,98 @@
+"""Ablation: virtual cut-through vs wormhole switching (flit engine).
+
+The paper's simulator uses virtual cut-through (Section VII-A) and its
+deadlock discussion covers "wormhole or cut-through routing modes"
+(Section V-A). The flit-level reference engine reproduces the classic
+difference: once per-VC buffers drop below the credit round trip,
+wormhole serialization stretches and saturation falls -- quantified
+here on the 16-switch DSN.
+
+Also cross-validates the two simulation engines at low load: the
+event-driven engine (used for Fig. 10) and the cycle-driven flit engine
+must agree on latency within cycle-quantization error.
+"""
+
+import numpy as np
+import pytest
+from conftest import once
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import (
+    AdaptiveEscapeAdapter,
+    FlitLevelSimulator,
+    NetworkSimulator,
+    SimConfig,
+)
+from repro.traffic import make_pattern
+from repro.util import format_table
+
+CFG = SimConfig(warmup_ns=2000, measure_ns=8000, drain_ns=16000, seed=3)
+
+
+def _run(topo, load, buffer_flits, seed=0):
+    routing = DuatoAdaptiveRouting(topo)
+    adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(seed))
+    pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+    return FlitLevelSimulator(topo, adapter, pat, load, CFG, buffer_flits=buffer_flits).run()
+
+
+def test_vct_vs_wormhole(benchmark):
+    topo = DSNTopology(16)
+
+    def sweep():
+        rows = []
+        for buf in (33, 16, 8, 4):
+            for load in (2.0, 6.0, 10.0):
+                r = _run(topo, load, buf)
+                rows.append(
+                    [buf, load, round(r.accepted_gbps, 2), round(r.avg_latency_ns, 1)]
+                )
+        return rows
+
+    rows = once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["buf_flits", "offered", "accepted", "avg_lat_ns"],
+            rows,
+            title="Switching-mode ablation (DSN, 16 switches; 33-flit packets)",
+        )
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    # Deep wormhole (4-flit buffers) is strictly slower than VCT.
+    assert by[(4, 6.0)][3] > by[(33, 6.0)][3]
+    # All configurations still deliver (deadlock-free escape holds in
+    # wormhole mode too).
+    assert all(r[2] > 0 for r in rows)
+
+
+def test_engine_cross_validation(benchmark):
+    """Event-driven vs flit-level engine at low load."""
+    topo = DSNTopology(16)
+
+    def run_both():
+        routing = DuatoAdaptiveRouting(topo)
+        pat = make_pattern("uniform", 64)
+        flit = FlitLevelSimulator(
+            topo,
+            AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0)),
+            pat,
+            1.0,
+            CFG,
+        ).run()
+        event = NetworkSimulator(
+            topo,
+            AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0)),
+            make_pattern("uniform", 64),
+            1.0,
+            CFG,
+        ).run()
+        return flit, event
+
+    flit, event = once(benchmark, run_both)
+    print(
+        f"\nflit-level {flit.avg_latency_ns:.1f} ns vs event-driven "
+        f"{event.avg_latency_ns:.1f} ns at 1 Gbit/s/host"
+    )
+    assert flit.avg_latency_ns == pytest.approx(event.avg_latency_ns, rel=0.06)

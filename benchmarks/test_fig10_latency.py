@@ -1,0 +1,77 @@
+"""Experiments E4-E6 -- Figure 10: latency vs accepted traffic.
+
+Reproduces the paper's cycle-level simulation (Section VII): 64
+switches x 4 hosts, 33-flit packets, 4 VCs, minimal-adaptive routing
+with up*/down* escape, for (a) uniform, (b) bit-reversal and
+(c) neighboring traffic. The assertions encode the published shape:
+
+* DSN and RANDOM sit on nearly the same curve;
+* DSN's low-load latency beats the torus (paper: ~15% on uniform,
+  ~4.3% on bit reversal);
+* all three topologies saturate at similar accepted traffic.
+
+Absolute saturation points differ from the paper (our router model is
+packet-granular and fully adaptive -- see DESIGN.md substitution #1);
+the paper's x-axis reaches 12 Gbit/s/host, within which all three
+topologies stay unsaturated here as there.
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import fig10, format_curves
+
+
+def _curves_by_kind(curves):
+    by = {}
+    for c in curves:
+        key = "dsn" if c.topology.startswith("DSN") else (
+            "torus" if c.topology.startswith("Torus") else "random"
+        )
+        by[key] = c
+    return by
+
+
+def _run_pattern(benchmark, pattern, loads, config):
+    curves = once(
+        benchmark, fig10, pattern, loads=loads, n=64, config=config, seed=1
+    )
+    print()
+    print(format_curves(curves, f"Figure 10 ({pattern}): latency vs accepted traffic"))
+    return _curves_by_kind(curves)
+
+
+def _assert_common_shape(by, pattern):
+    dsn, torus, rnd = by["dsn"], by["torus"], by["random"]
+    # DSN latency below torus at low load.
+    gain = 1 - dsn.low_load_latency() / torus.low_load_latency()
+    print(f"\n{pattern}: DSN low-load latency gain over torus: {gain:.1%}")
+    assert dsn.low_load_latency() < torus.low_load_latency()
+    # DSN and RANDOM nearly coincide (a permutation can favour the
+    # random graph's extra path diversity slightly, hence the margin).
+    assert dsn.low_load_latency() == pytest.approx(rnd.low_load_latency(), rel=0.13)
+    # Similar throughput: within the paper's 12 Gbit/s/host axis none
+    # saturates much before the others.
+    assert dsn.saturation_gbps() >= 0.8 * torus.saturation_gbps()
+    assert rnd.saturation_gbps() >= 0.8 * torus.saturation_gbps()
+    return gain
+
+
+def test_fig10a_uniform(benchmark, sim_loads, sim_config):
+    by = _run_pattern(benchmark, "uniform", sim_loads, sim_config)
+    gain = _assert_common_shape(by, "uniform")
+    # Paper: 15% latency improvement on uniform traffic.
+    assert gain >= 0.05
+
+
+def test_fig10b_bit_reversal(benchmark, sim_loads, sim_config):
+    by = _run_pattern(benchmark, "bit_reversal", sim_loads, sim_config)
+    gain = _assert_common_shape(by, "bit_reversal")
+    assert gain >= 0.0  # paper: 4.3%
+
+
+def test_fig10c_neighboring(benchmark, sim_loads, sim_config):
+    by = _run_pattern(benchmark, "neighboring", sim_loads, sim_config)
+    # Under 90%-local traffic all curves flatten; DSN must still not lose
+    # to the torus at low load.
+    assert by["dsn"].low_load_latency() <= 1.02 * by["torus"].low_load_latency()

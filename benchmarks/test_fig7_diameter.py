@@ -1,0 +1,44 @@
+"""Experiment E1 -- Figure 7: diameter vs network size.
+
+Regenerates the paper's Fig. 7 rows (DSN, 2-D torus, RANDOM = DLN-2-2
+for N = 32..2048) and asserts the published shape: RANDOM lowest, DSN
+close behind, torus increasingly worse -- "DSN improves the diameter
+by up to 67%" over torus.
+"""
+
+from conftest import once
+
+from repro.experiments import fig7_diameter, format_hop_sweep
+
+
+def test_fig7_diameter(benchmark, graph_sizes):
+    rows = once(benchmark, fig7_diameter, sizes=graph_sizes)
+    print()
+    print(format_hop_sweep(rows, "Figure 7: diameter vs network size (hops)"))
+
+    for row in rows:
+        dsn, torus, rnd = row.values["dsn"], row.values["torus"], row.values["random"]
+        # RANDOM is the lowest (or ties) at every size.
+        assert rnd <= dsn
+        # DSN beats the torus from 64 switches up, increasingly so.
+        if row.n >= 64:
+            assert dsn < torus
+        # DSN stays within a small factor of RANDOM (same-degree optimal).
+        assert dsn <= 1.6 * rnd + 2
+
+    # Paper: "improves the diameter ... by up to 67%".
+    best_gain = max(
+        1 - row.values["dsn"] / row.values["torus"] for row in rows if row.n >= 256
+    )
+    assert best_gain >= 0.6, f"best diameter gain over torus only {best_gain:.0%}"
+    print(f"\nmax diameter improvement over torus: {best_gain:.0%} (paper: up to 67%)")
+
+
+def test_fig7_dsn_diameter_logarithmic(benchmark, graph_sizes):
+    """DSN's diameter grows ~logarithmically (the small-world effect):
+    every doubling of N adds only ~1 hop."""
+    rows = once(benchmark, fig7_diameter, sizes=graph_sizes)
+    dsn = [row.values["dsn"] for row in rows]
+    increments = [b - a for a, b in zip(dsn, dsn[1:])]
+    assert all(inc <= 2 for inc in increments)
+    assert dsn[-1] <= 2.5 * rows[-1].n.bit_length()

@@ -1,0 +1,52 @@
+"""Experiments E2 and E15 -- Figure 8: average shortest path length.
+
+Regenerates Fig. 8 (ASPL vs network size) and checks the Section VII-B
+text claim: at 64 switches the ASPL is 3.2 / 3.2 / 4.1 hops for
+DSN / RANDOM / torus ("DSN improves ... by up to 55%" at large N).
+"""
+
+import pytest
+from conftest import once
+
+from repro.experiments import fig8_aspl, format_hop_sweep, hop_distribution_table
+
+
+def test_fig8_aspl(benchmark, graph_sizes):
+    rows = once(benchmark, fig8_aspl, sizes=graph_sizes)
+    print()
+    print(format_hop_sweep(rows, "Figure 8: average shortest path length (hops)"))
+
+    for row in rows:
+        dsn, torus, rnd = row.values["dsn"], row.values["torus"], row.values["random"]
+        assert rnd <= dsn
+        if row.n >= 64:
+            assert dsn < torus
+        assert dsn <= 1.5 * rnd
+
+    best_gain = max(
+        1 - row.values["dsn"] / row.values["torus"] for row in rows if row.n >= 256
+    )
+    assert best_gain >= 0.5, f"best ASPL gain over torus only {best_gain:.0%}"
+    print(f"\nmax ASPL improvement over torus: {best_gain:.0%} (paper: up to 55%)")
+
+
+def test_64switch_aspl_text_claim(benchmark):
+    """E15: the Section VII-B quoted values 3.2 / 3.2 / 4.1 hops."""
+    rows = once(benchmark, fig8_aspl, sizes=(64,))
+    v = rows[0].values
+    print(
+        f"\n64-switch ASPL  measured: DSN={v['dsn']:.2f} RANDOM={v['random']:.2f} "
+        f"torus={v['torus']:.2f}   (paper: 3.2 / 3.2 / 4.1)"
+    )
+    assert v["torus"] == pytest.approx(4.1, abs=0.1)
+    assert v["dsn"] == pytest.approx(3.2, abs=0.35)
+    assert v["random"] == pytest.approx(3.2, abs=0.25)
+
+
+def test_hop_distribution(benchmark):
+    """The distribution behind the averages: DSN's pair distances sit in
+    a tight logarithmic band; the torus's tail reaches its diameter."""
+    table = once(benchmark, hop_distribution_table, 256)
+    print()
+    print(table)
+    assert "dsn" in table

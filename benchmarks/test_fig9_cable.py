@@ -1,0 +1,42 @@
+"""Experiments E3 and E12 -- Figure 9: average cable length vs size.
+
+Regenerates Fig. 9 under the Section VI-B floorplan (16 switches per
+0.6 m x 2.1 m cabinet, Manhattan distances, 2 m intra-cabinet cables,
+per-cabinet wiring overhead) and asserts the published shape: RANDOM's
+average cable grows steeply, DSN stays close to the torus, and DSN cuts
+the average cable length vs RANDOM by up to ~38%.
+"""
+
+from conftest import once
+
+from repro.experiments import dsn6_vs_torus3d, fig9_cable, format_cable_sweep
+
+
+def test_fig9_cable(benchmark, graph_sizes):
+    rows = once(benchmark, fig9_cable, sizes=graph_sizes)
+    print()
+    print(format_cable_sweep(rows, "Figure 9: average cable length (m)"))
+
+    big = rows[-1]
+    small = rows[0]
+    # RANDOM's cable cost explodes with size...
+    assert big.values["random"] > 2 * small.values["random"]
+    # ...while DSN stays in the torus's neighbourhood.
+    assert big.values["dsn"] < 1.5 * big.values["torus"]
+
+    reduction = max(
+        1 - row.values["dsn"] / row.values["random"] for row in rows
+    )
+    print(f"\nmax cable reduction vs RANDOM: {reduction:.0%} (paper: up to 38%)")
+    assert reduction >= 0.25
+
+
+def test_dsn6_vs_torus3d(benchmark):
+    """E12 (Section VI-B remark): a degree-6 DSN has cable length in the
+    neighbourhood of the 3-D torus under the conventional layout."""
+    dsn6, torus3 = once(benchmark, dsn6_vs_torus3d, n=512)
+    print(
+        f"\ndegree-6 DSN avg cable {dsn6.average_m:.2f} m vs "
+        f"3-D torus {torus3.average_m:.2f} m (n=512)"
+    )
+    assert dsn6.average_m < 1.6 * torus3.average_m

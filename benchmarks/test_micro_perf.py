@@ -1,0 +1,58 @@
+"""Library micro-benchmarks (pytest-benchmark proper).
+
+Not a paper artefact: these track the performance of the reproduction
+itself -- topology construction, route computation, metric sweeps and
+simulator event throughput -- so regressions in the hot paths show up.
+"""
+
+import numpy as np
+
+from repro.analysis import shortest_path_matrix
+from repro.core import DSNTopology, dsn_route
+from repro.routing import DuatoAdaptiveRouting, UpDownRouting
+from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig
+from repro.traffic import make_pattern
+
+
+def test_dsn_construction_1024(benchmark):
+    topo = benchmark(DSNTopology, 1024)
+    assert topo.n == 1024
+
+
+def test_dsn_route_throughput(benchmark):
+    topo = DSNTopology(1024)
+    pairs = [(i * 37 % 1024, i * 101 % 1024) for i in range(200)]
+    pairs = [(s, t) for s, t in pairs if s != t]
+
+    def route_batch():
+        return [dsn_route(topo, s, t).length for s, t in pairs]
+
+    lengths = benchmark(route_batch)
+    assert max(lengths) <= 3 * topo.p + topo.r
+
+
+def test_aspl_2048(benchmark):
+    topo = DSNTopology(2048)
+    dist = benchmark(shortest_path_matrix, topo)
+    assert dist.shape == (2048, 2048)
+
+
+def test_updown_table_build_128(benchmark):
+    topo = DSNTopology(128)
+    ud = benchmark(UpDownRouting, topo)
+    assert ud.distance(0, 64) >= 1
+
+
+def test_simulator_throughput(benchmark):
+    """Events processed for a 64-switch run at moderate load."""
+    topo = DSNTopology(64)
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=10000, seed=2)
+    routing = DuatoAdaptiveRouting(topo)
+
+    def run():
+        adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(0))
+        pattern = make_pattern("uniform", 64 * cfg.hosts_per_switch)
+        return NetworkSimulator(topo, adapter, pattern, 6.0, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.delivered_measured > 0

@@ -1,0 +1,56 @@
+"""Extended experiment E24: analytic model vs event-driven simulator.
+
+The M/D/1 channel model (Dally-Towles methodology) predicts each
+Fig. 10 curve from the topology and routing alone. Validating it
+against the simulator both sanity-checks the simulator (two independent
+implementations of the same physics) and gives a fast screening tool
+for new topologies.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.experiments import make_topology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig
+from repro.sim.model import build_uniform_model
+from repro.traffic import make_pattern
+from repro.util import format_table
+
+CFG = SimConfig(warmup_ns=4000, measure_ns=12000, drain_ns=24000, seed=3)
+LOADS = (1.0, 4.0, 8.0)
+
+
+def test_model_vs_simulator(benchmark):
+    def sweep():
+        rows = []
+        errors = []
+        for kind in ("torus", "random", "dsn"):
+            topo = make_topology(kind, 64, seed=0)
+            model = build_uniform_model(topo, CFG)
+            routing = DuatoAdaptiveRouting(topo)
+            for load in LOADS:
+                adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+                sim = NetworkSimulator(
+                    topo, adapter, make_pattern("uniform", 256), load, CFG
+                ).run()
+                pred = model.latency_ns(load)
+                err = pred / sim.avg_latency_ns - 1
+                errors.append(abs(err))
+                rows.append([
+                    topo.name, load, round(sim.avg_latency_ns, 1),
+                    round(pred, 1), f"{err:+.1%}",
+                ])
+            rows.append([topo.name, "sat", "-", round(model.saturation_gbps(), 1), ""])
+        return rows, errors
+
+    rows, errors = once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["topology", "offered", "sim_lat_ns", "model_lat_ns", "error"],
+        rows,
+        title="Analytic M/D/1 model vs event-driven simulator (uniform)",
+    ))
+    # The model tracks the simulator within 10% at every point below
+    # saturation.
+    assert max(errors) < 0.10

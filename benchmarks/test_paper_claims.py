@@ -1,0 +1,21 @@
+"""Experiment E29: the consolidated paper-claims scorecard.
+
+Runs every quantitative claim of the paper (abstract, Sections IV-VII)
+as a machine check and prints the verdict table -- the one-screen answer
+to "did the reproduction work?". EXACT claims must meet the stated
+number/bound; SHAPE claims must hold qualitatively with the magnitude
+reported (the simulation-model-dependent ones, per DESIGN.md
+substitution #1).
+"""
+
+from conftest import once
+
+from repro.experiments.claims import check_claims, format_claims
+
+
+def test_paper_claims_scorecard(benchmark):
+    results = once(benchmark, check_claims)
+    print()
+    print(format_claims(results))
+    failed = [r for r in results if not r.ok]
+    assert not failed, f"claims failed: {[r.claim.claim_id for r in failed]}"

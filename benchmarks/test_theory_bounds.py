@@ -1,0 +1,90 @@
+"""Experiments E7-E10 -- validation of Facts 1-3 and Theorems 1-2.
+
+Prints measured-vs-bound tables for every analytical claim of Section
+IV-C across network sizes, including sizes with and without an
+incomplete final super node (r = 0 and r > 0).
+"""
+
+from conftest import once
+
+from repro.experiments import check_degrees, check_line_cable, check_routing
+from repro.util import format_table
+
+SIZES = (32, 64, 100, 128, 250, 512, 1020, 1024, 2048)
+
+
+def test_fact1_degrees(benchmark):
+    """E7: degrees in {2..5}, average <= 4, at most p degree-5 nodes."""
+    checks = once(benchmark, lambda: [check_degrees(n) for n in SIZES])
+    print()
+    print(
+        format_table(
+            ["n", "x", "min_deg", "max_deg", "avg_deg", "deg5", "deg5_bound", "verdict"],
+            [c.row() for c in checks],
+            title="Fact 1 / Theorem 1(a): DSN degree properties",
+        )
+    )
+    assert all(c.ok for c in checks)
+
+
+def test_fact2_fact3_theorem2a_routing(benchmark):
+    """E8+E9: routing diameter <= 3p+r, diameter <= 2.5p+r,
+    E[route] <= 2p, E[shortest] <= 1.5p."""
+
+    def run():
+        out = []
+        for n in SIZES:
+            sample = None if n <= 256 else 4000
+            out.append(check_routing(n, sample_pairs=sample))
+        return out
+
+    checks = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            [
+                "n",
+                "x",
+                "rt_diam",
+                "<=3p+r",
+                "diam",
+                "<=2.5p+r",
+                "E[route]",
+                "<=2p",
+                "E[short]",
+                "<=1.5p",
+                "verdict",
+            ],
+            [c.row() for c in checks],
+            title="Facts 2-3 / Theorem 2(a): path-length bounds",
+        )
+    )
+    assert all(c.ok for c in checks)
+
+
+def test_theorem2b_line_cable(benchmark):
+    """E10: line-layout cable -- DSN ~n^2/p total, ~n/p per shortcut,
+    vs DLN-2-2's ~n/4 per random chord; saving factor ~p/3."""
+    checks = once(benchmark, lambda: [check_line_cable(n) for n in (64, 256, 1020, 2048)])
+    print()
+    print(
+        format_table(
+            [
+                "n",
+                "p",
+                "dsn_avg_sc",
+                "bound",
+                "dln22_avg_sc",
+                "expect",
+                "saving",
+                "~p/3",
+                "verdict",
+            ],
+            [c.row() for c in checks],
+            title="Theorem 2(b): line-layout cable lengths",
+        )
+    )
+    assert all(c.ok for c in checks)
+    # The saving factor grows with p, as the theorem promises.
+    savings = [c.savings_factor for c in checks]
+    assert savings[-1] > savings[0]

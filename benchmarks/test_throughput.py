@@ -1,0 +1,53 @@
+"""Extended experiment E32: measured saturation throughput.
+
+The paper's throughput metric made explicit: "the largest amount of
+traffic accepted by the network before the network is not saturated"
+(Section VII-A), searched by bisection for each topology and pattern.
+The Fig. 10 claim under test: "All the topologies have similar
+throughput".
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.experiments import make_topology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig, find_saturation
+from repro.traffic import make_pattern
+from repro.util import format_table
+
+CFG = SimConfig(warmup_ns=3000, measure_ns=9000, drain_ns=18000, seed=2)
+
+
+def test_saturation_throughput(benchmark):
+    def sweep():
+        rows = []
+        sats = {}
+        for kind in ("torus", "random", "dsn"):
+            topo = make_topology(kind, 64, seed=0)
+            routing = DuatoAdaptiveRouting(topo)
+
+            def run_at(load, topo=topo, routing=routing):
+                adapter = AdaptiveEscapeAdapter(
+                    routing, CFG.num_vcs, np.random.default_rng(0)
+                )
+                pattern = make_pattern("uniform", 256)
+                return NetworkSimulator(topo, adapter, pattern, load, CFG).run()
+
+            s = find_saturation(run_at, resolution_gbps=1.0)
+            sats[kind] = s.saturation_gbps
+            rows.append(s.row())
+        return rows, sats
+
+    rows, sats = once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["topology", "pattern", "saturation_gbps", "accepted", "probes"],
+        rows,
+        title="Measured saturation throughput (uniform, 64 switches)",
+    ))
+    # "All the topologies have similar throughput" (Section VII-B).
+    vals = list(sats.values())
+    spread = max(vals) / min(vals)
+    print(f"\nthroughput spread across topologies: {spread:.2f}x (paper: similar)")
+    assert spread < 1.35

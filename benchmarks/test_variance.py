@@ -1,0 +1,27 @@
+"""Extended experiment E31: seed variance of the RANDOM baseline.
+
+Figs. 7-9 use one sample from the DLN-2-2 ensemble; this shows the
+comparison does not hinge on the sample: across seeds, RANDOM's hop
+metrics stay tightly clustered below DSN's and its cable cost stays
+well above.
+"""
+
+from conftest import once
+
+from repro.experiments.variance import format_ensemble, random_ensemble
+
+
+def test_random_baseline_variance(benchmark):
+    stats = once(
+        benchmark, lambda: [random_ensemble(n, seeds=5) for n in (64, 256, 1024)]
+    )
+    print()
+    print(format_ensemble(stats))
+    for s in stats:
+        # hop metrics: tiny spread, always at or below DSN
+        assert s.aspl_std < 0.1
+        assert s.aspl_mean <= s.dsn_aspl + 0.05
+        # cable: RANDOM above DSN for every plausible draw at scale
+        if s.n >= 256:
+            assert s.cable_mean - 3 * s.cable_std > s.dsn_cable * 0.95
+        assert s.orderings_stable

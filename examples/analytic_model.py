@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Analytic latency model vs the simulator, plotted in the terminal.
+
+Run:  python examples/analytic_model.py
+
+Builds the M/D/1 channel model for the 64-switch DSN and torus, sweeps
+offered load, overlays the event-driven simulator's measurements, and
+prints the predicted saturation points. The model needs milliseconds;
+the simulator needs seconds -- useful for screening topologies before
+simulating them.
+"""
+
+import numpy as np
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig
+from repro.sim.model import build_uniform_model
+from repro.topologies import TorusTopology
+from repro.traffic import make_pattern
+from repro.viz import ascii_plot
+
+
+def main() -> None:
+    cfg = SimConfig(warmup_ns=3000, measure_ns=9000, drain_ns=18000, seed=3)
+    loads = (1.0, 2.0, 4.0, 6.0, 8.0)
+
+    series = {}
+    for topo in (DSNTopology(64), TorusTopology.square(64)):
+        model = build_uniform_model(topo, cfg)
+        routing = DuatoAdaptiveRouting(topo)
+        sim_lat = []
+        for load in loads:
+            adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(0))
+            r = NetworkSimulator(topo, adapter, make_pattern("uniform", 256), load, cfg).run()
+            sim_lat.append(r.avg_latency_ns)
+        series[f"{topo.name} sim"] = sim_lat
+        series[f"{topo.name} model"] = model.curve(loads)
+        print(f"{topo.name}: predicted saturation {model.saturation_gbps():.1f} Gbit/s/host")
+
+    print()
+    print(ascii_plot(list(loads), series, width=56, height=14,
+                     x_label="offered Gbit/s/host", y_label="avg latency ns"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Deadlock analysis demo: why DSN-E/DSN-V exist (Section V-A, Thm 3).
+
+Run:  python examples/deadlock_analysis.py [n]
+
+Builds the channel dependency graph (CDG) of (a) the basic DSN-Routing
+and (b) the extended deadlock-free routing over all source-destination
+pairs, then searches for cycles. The basic algorithm shares pred
+channels between PRE-WORK and FINISH and closes dependency loops around
+the ring; the extended discipline (Up links for PRE-WORK, Extra links
+inside the 2p-node dateline region for FINISH) leaves a permanent gap
+that no cycle can cross -- verified here exhaustively, which is the
+computational form of the paper's Theorem 3.
+"""
+
+import sys
+
+from repro.core import DSNETopology, DSNTopology, dsn_route, dsn_route_extended
+from repro.routing import build_cdg, find_cycle, route_channels
+
+
+def all_routes(topo, route_fn):
+    return [
+        route_channels(route_fn(topo, s, t))
+        for s in range(topo.n)
+        for t in range(topo.n)
+        if s != t
+    ]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+
+    basic = DSNTopology(n)
+    cdg = build_cdg(all_routes(basic, dsn_route))
+    cycle = find_cycle(cdg)
+    print(f"basic DSN-Routing on {basic.name}:")
+    print(f"  CDG: {cdg.number_of_nodes()} channels, {cdg.number_of_edges()} dependencies")
+    if cycle:
+        print(f"  DEADLOCK RISK: dependency cycle of length {len(cycle)}, e.g.")
+        for ch in cycle[:6]:
+            print(f"    {ch[0]:>4} -> {ch[1]:<4} [{ch[2]}]")
+        print("    ...")
+    else:
+        print("  unexpectedly acyclic!?")
+
+    ext = DSNETopology(n)
+    cdg_e = build_cdg(all_routes(ext, dsn_route_extended))
+    cycle_e = find_cycle(cdg_e)
+    print(f"\nextended routing on {ext.name} (+{len(ext.up_links)} Up, "
+          f"+{len(ext.extra_links)} Extra links):")
+    print(f"  CDG: {cdg_e.number_of_nodes()} channels, {cdg_e.number_of_edges()} dependencies")
+    print("  acyclic =", cycle_e is None, " (Theorem 3 verified)" if cycle_e is None else "")
+
+
+if __name__ == "__main__":
+    main()

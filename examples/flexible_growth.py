@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Growing a DSN one node at a time (Section V-C flexible topology).
+
+Run:  python examples/flexible_growth.py
+
+Operators rarely get to install a machine whose size is a multiple of
+p. The flexible DSN starts from a convenient major size (the paper uses
+DSN-10-1020) and inserts *minor* nodes with fractional IDs anywhere on
+the ring; routing still works by addressing the major node just before
+each minor. This script reproduces the paper's 1020 + 4 example and
+then keeps growing the machine, checking routing health at every step.
+"""
+
+import random
+
+from repro.core import FlexibleDSNTopology, flexible_route
+
+
+def routing_health(topo, trials=400, seed=0) -> float:
+    """Average route length over random pairs (all must deliver)."""
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        s = rng.randrange(topo.n)
+        t = rng.randrange(topo.n)
+        r = flexible_route(topo, s, t)
+        r.validate()
+        total += r.length
+    return total / trials
+
+
+def main() -> None:
+    # The paper's example: DSN-10-1020 plus four minors.
+    minors = [10, 20, 30, 40]
+    f = FlexibleDSNTopology(1020, minors_after=minors)
+    print(f"{f.name}: n={f.n}, minors at labels "
+          f"{[str(f.label(f.major_ring_id(m) + 1)) for m in minors]}")
+    print(f"  avg route length over random pairs: {routing_health(f):.2f} hops")
+
+    # Keep adding nodes (e.g. replacing failed blades, expanding racks).
+    print("\ngrowing the machine:")
+    for extra in (8, 16, 32):
+        grown = FlexibleDSNTopology(1020, minors_after=list(range(0, extra * 10, 10)))
+        print(
+            f"  n={grown.n:5d} ({grown.num_minors:3d} minors)  "
+            f"avg route {routing_health(grown):.2f} hops  "
+            f"degree census {grown.degree_census()}"
+        )
+
+    print(
+        "\nRoute lengths stay flat as minors are added: each minor costs "
+        "only the final succ hops past its major (Section V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Machine-room planning: cabinets, floor area and cabling bill.
+
+Run:  python examples/layout_planner.py [n]
+
+Uses the Section VI-B floorplan model to produce the deployment report
+an operator would want before committing to a topology: cabinet grid,
+floor footprint, and per-link-class cable statistics for DSN, 2-D torus
+and the RANDOM (DLN-2-2) alternative -- including total cable, the
+quantity the paper motivates with the Earth Simulator's 2000+ km of
+cabling.
+"""
+
+import sys
+
+from repro.core import DSNTopology
+from repro.layout import Floorplan, cable_report
+from repro.topologies import DLNRandomTopology, TorusTopology
+from repro.util import format_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+
+    fp = Floorplan(n)
+    print(f"floorplan for {n} switches: {fp.num_cabinets} cabinets "
+          f"({fp.rows} rows x {fp.per_row}), "
+          f"{fp.floor_width_m:.1f} m x {fp.floor_depth_m:.1f} m of floor")
+
+    rows = []
+    class_rows = []
+    for topo in (TorusTopology.square(n), DLNRandomTopology(n, seed=0), DSNTopology(n)):
+        rep = cable_report(topo, floorplan=fp)
+        rows.append(rep.row())
+        for cls, (count, avg) in sorted(rep.per_class.items()):
+            class_rows.append([rep.name, cls, count, round(avg, 2)])
+
+    print()
+    print(format_table(
+        ["topology", "cables", "avg_m", "total_m", "max_m"],
+        rows,
+        title="Cabling bill of materials",
+    ))
+    print()
+    print(format_table(
+        ["topology", "link class", "count", "avg_m"],
+        class_rows,
+        title="Per-class breakdown",
+    ))
+
+    torus_total, rnd_total, dsn_total = rows[0][3], rows[1][3], rows[2][3]
+    print(f"\nDSN total cable = {dsn_total / rnd_total:.0%} of RANDOM's, "
+          f"{dsn_total / torus_total:.0%} of the torus's.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Virtual cut-through vs wormhole switching (flit-level engine).
+
+Run:  python examples/switching_modes.py
+
+Section V-A designs the deadlock-free DSN routing for "wormhole or
+cut-through routing modes"; Section VII-A simulates virtual cut-through.
+This example uses the cycle-driven flit-level engine to show *why* VCT
+is the right choice at these packet sizes: once the per-VC buffer drops
+below the credit round trip (buffer < ~2 x link latency x bandwidth),
+wormhole serialization stretches every hop, and below the packet size
+blocked packets stall stretched across switches.
+"""
+
+import numpy as np
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import AdaptiveEscapeAdapter, FlitLevelSimulator, SimConfig
+from repro.traffic import make_pattern
+from repro.util import format_table
+
+
+def main() -> None:
+    topo = DSNTopology(16)
+    cfg = SimConfig(warmup_ns=2000, measure_ns=8000, drain_ns=16000, seed=3)
+    routing = DuatoAdaptiveRouting(topo)
+
+    rows = []
+    for buf in (33, 16, 8, 4):
+        mode = "VCT" if buf >= cfg.packet_flits else f"wormhole({buf})"
+        for load in (2.0, 6.0, 10.0):
+            adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(0))
+            pattern = make_pattern("uniform", topo.n * cfg.hosts_per_switch)
+            r = FlitLevelSimulator(topo, adapter, pattern, load, cfg, buffer_flits=buf).run()
+            rows.append([mode, buf, load, round(r.accepted_gbps, 2), round(r.avg_latency_ns, 1)])
+
+    print(format_table(
+        ["mode", "buf_flits", "offered", "accepted", "avg_lat_ns"],
+        rows,
+        title="Switching modes on a 16-switch DSN (33-flit packets)",
+    ))
+    print(
+        "\nCredit round trip here is ~17 flit times: with 4-flit buffers a"
+        "\nchannel sustains only 4/17 of its bandwidth per packet, which is"
+        "\nexactly the latency blow-up in the table. The paper's VCT choice"
+        "\n(buffers >= packet) avoids this and keeps blocked packets parked"
+        "\nin a single switch -- also what its deadlock analysis assumes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro: a full reproduction of *Distributed Shortcut Networks:
+Layout-aware Low-degree Topologies Exploiting Small-world Effect*
+(Nguyen, Le, Fujiwara, Koibuchi -- ICPP 2013).
+
+Subpackages
+-----------
+
+``repro.core``
+    The paper's contribution: the DSN-x-n topology, its three-phase
+    distance-halving custom routing, the deadlock-free (DSN-E/DSN-V),
+    diameter-improving (DSN-D) and flexible extensions, and the
+    Section IV-C theory bounds.
+``repro.topologies``
+    Baselines and substrates: ring, 2-D/3-D torus, DLN-x / DLN-x-y
+    (the paper's RANDOM), Kleinberg small-world grids, random regular
+    graphs, de Bruijn / Kautz / CCC / hypercube.
+``repro.routing``
+    Up*/down*, Duato-style adaptive routing, dimension-order routing,
+    minimal routing tables, and channel-dependency-graph deadlock
+    verification.
+``repro.analysis``
+    Diameter / average-shortest-path sweeps (Figs. 7-8), small-world
+    indices, channel-load balance.
+``repro.layout``
+    Machine-room cabinet floorplans and cable-length estimation
+    (Fig. 9), plus the Theorem 2(b) line layout.
+``repro.sim`` / ``repro.traffic``
+    Event-driven virtual cut-through network simulator and the
+    synthetic traffic patterns of Section VII (Fig. 10).
+``repro.experiments``
+    One driver per paper figure/table; see DESIGN.md for the index.
+"""
+
+from repro.core import (
+    DSNDTopology,
+    DSNETopology,
+    DSNTopology,
+    DSNVTopology,
+    FlexibleDSNTopology,
+    dsn_route,
+    dsn_route_extended,
+    dsn_theory,
+    dsnd_route,
+    flexible_route,
+)
+from repro.topologies import (
+    DLNRandomTopology,
+    DLNTopology,
+    KleinbergTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSNTopology",
+    "DSNETopology",
+    "DSNVTopology",
+    "DSNDTopology",
+    "FlexibleDSNTopology",
+    "dsn_route",
+    "dsn_route_extended",
+    "dsnd_route",
+    "flexible_route",
+    "dsn_theory",
+    "Topology",
+    "RingTopology",
+    "TorusTopology",
+    "DLNTopology",
+    "DLNRandomTopology",
+    "KleinbergTopology",
+    "__version__",
+]

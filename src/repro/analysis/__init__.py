@@ -1,0 +1,45 @@
+"""Graph analysis: hop metrics (Figs. 7-8), small-world indices, load balance."""
+
+from repro.analysis.balance import LoadStats, channel_loads, gini, load_stats
+from repro.analysis.bisection import BisectionEstimate, bisection_estimate, cut_links
+from repro.analysis.faults import FaultTrialStats, degrade, fault_sweep
+from repro.analysis.paths import PathDiversity, path_diversity
+from repro.analysis.metrics import (
+    GraphMetrics,
+    analyze,
+    average_shortest_path_length,
+    diameter,
+    eccentricities,
+    hop_histogram,
+    shortest_path_matrix,
+)
+from repro.analysis.smallworld import (
+    SmallWorldIndices,
+    clustering_coefficient,
+    small_world_indices,
+)
+
+__all__ = [
+    "GraphMetrics",
+    "analyze",
+    "average_shortest_path_length",
+    "diameter",
+    "eccentricities",
+    "hop_histogram",
+    "shortest_path_matrix",
+    "SmallWorldIndices",
+    "clustering_coefficient",
+    "small_world_indices",
+    "LoadStats",
+    "channel_loads",
+    "gini",
+    "load_stats",
+    "BisectionEstimate",
+    "bisection_estimate",
+    "cut_links",
+    "FaultTrialStats",
+    "degrade",
+    "fault_sweep",
+    "PathDiversity",
+    "path_diversity",
+]

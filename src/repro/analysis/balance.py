@@ -1,0 +1,108 @@
+"""Traffic-balance analysis of routing functions (Section VII-B remark).
+
+The paper reports (without figures) that the DSN custom routing spreads
+traffic "significantly more balanced than using up*/down* routing".
+This module reproduces that comparison (experiment E13): route every
+(or a sampled set of) source-destination pair, count how many routes
+cross each directed channel, and summarize the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["LoadStats", "channel_loads", "load_stats", "gini"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative load distribution (0 = even)."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.sum() == 0:
+        return 0.0
+    n = len(v)
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * v).sum() / (n * v.sum())) - (n + 1) / n)
+
+
+def channel_loads(
+    topo: Topology,
+    path_fn: Callable[[int, int], Sequence[int]],
+    pairs: Iterable[tuple[int, int]] | None = None,
+    sample: int | None = None,
+    seed: int | None = 0,
+) -> dict[tuple[int, int], int]:
+    """Count route crossings per directed channel ``(u, v)``.
+
+    ``path_fn(s, t)`` must return the node path of the route from ``s``
+    to ``t``. ``pairs`` defaults to all ordered pairs, or a uniform
+    ``sample`` of them.
+    """
+    n = topo.n
+    if pairs is None:
+        if sample is not None:
+            rng = make_rng(seed)
+            pairs = []
+            while len(pairs) < sample:
+                s, t = rng.integers(0, n, size=2)
+                if s != t:
+                    pairs.append((int(s), int(t)))
+        else:
+            pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+
+    loads: dict[tuple[int, int], int] = {}
+    for link in topo.links:
+        loads[(link.u, link.v)] = 0
+        loads[(link.v, link.u)] = 0
+    for s, t in pairs:
+        path = path_fn(s, t)
+        for a, b in zip(path, path[1:]):
+            if (a, b) not in loads:
+                # Channel outside the simple-graph link set (e.g. a
+                # parallel Up/Extra cable); count it anyway.
+                loads[(a, b)] = 0
+            loads[(a, b)] += 1
+    return loads
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Summary of a channel-load distribution."""
+
+    mean: float
+    max: int
+    min: int
+    std: float
+    gini: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """Hot-spot factor: 1.0 means perfectly balanced."""
+        return self.max / self.mean if self.mean else float("inf")
+
+    def row(self) -> list:
+        return [
+            round(self.mean, 2),
+            self.max,
+            self.min,
+            round(self.std, 2),
+            round(self.gini, 4),
+            round(self.max_over_mean, 3),
+        ]
+
+
+def load_stats(loads: dict[tuple[int, int], int]) -> LoadStats:
+    """Summarize a channel-load map produced by :func:`channel_loads`."""
+    v = np.array(list(loads.values()), dtype=float)
+    return LoadStats(
+        mean=float(v.mean()),
+        max=int(v.max()),
+        min=int(v.min()),
+        std=float(v.std()),
+        gini=gini(v),
+    )

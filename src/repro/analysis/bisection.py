@@ -1,0 +1,78 @@
+"""Bisection width estimates.
+
+Throughput under uniform traffic is capacity-limited by the network's
+bisection; the paper's Fig. 10 observation that "all the topologies
+have similar throughput" is ultimately a statement about bisections at
+equal degree. Exact minimum bisection is NP-hard, so we report a
+certified *lower* bound (spectral, via the algebraic connectivity) and
+a heuristic *upper* bound (best balanced cut found by repeated
+Kernighan-Lin refinement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["BisectionEstimate", "bisection_estimate", "cut_links"]
+
+
+def cut_links(topo: Topology, part: set[int]) -> int:
+    """Number of links crossing the cut ``(part, rest)``."""
+    return sum(1 for l in topo.links if (l.u in part) != (l.v in part))
+
+
+@dataclass(frozen=True)
+class BisectionEstimate:
+    """Bounds on the (balanced) bisection width of a topology."""
+
+    name: str
+    n: int
+    spectral_lower: float  #: lambda_2 * n / 4 (Cheeger-type bound)
+    heuristic_upper: int  #: best balanced cut found
+    per_node_upper: float  #: heuristic_upper / n
+
+    def row(self) -> list:
+        return [self.name, round(self.spectral_lower, 1), self.heuristic_upper, round(self.per_node_upper, 3)]
+
+
+def bisection_estimate(
+    topo: Topology,
+    restarts: int = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> BisectionEstimate:
+    """Estimate the bisection width of ``topo``.
+
+    The spectral bound uses lambda_2 of the Laplacian: any balanced cut
+    has at least ``lambda_2 * n / 4`` crossing links. The upper bound is
+    the best of ``restarts`` randomized Kernighan-Lin bisections.
+    """
+    rng = make_rng(seed)
+
+    lap = nx.laplacian_matrix(topo.to_networkx()).astype(float)
+    # smallest two eigenvalues; lambda_1 = 0
+    vals = spla.eigsh(lap, k=2, which="SM", return_eigenvectors=False)
+    lam2 = float(sorted(vals)[1])
+    lower = lam2 * topo.n / 4.0
+
+    g = topo.to_networkx()
+    best = topo.num_links
+    for _ in range(restarts):
+        a, _b = nx.algorithms.community.kernighan_lin_bisection(
+            g, seed=int(rng.integers(0, 2**31 - 1))
+        )
+        best = min(best, cut_links(topo, set(a)))
+
+    return BisectionEstimate(
+        name=topo.name,
+        n=topo.n,
+        spectral_lower=lower,
+        heuristic_upper=best,
+        per_node_upper=best / topo.n,
+    )

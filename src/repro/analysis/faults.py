@@ -1,0 +1,95 @@
+"""Fault-tolerance analysis: metric degradation under link failures.
+
+The paper motivates low-degree topologies partly by "their simple
+management mechanisms for faults" (Section I) and the flexible DSN by
+tolerance "with node addition or failure" (Section V-C). This module
+quantifies robustness: knock out a random fraction of links and measure
+how often the network stays connected and how much the hop metrics
+degrade -- comparable across DSN, torus and RANDOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.csgraph import connected_components, shortest_path
+
+from repro.topologies.base import Link, Topology
+from repro.util import make_rng
+
+__all__ = ["FaultTrialStats", "degrade", "fault_sweep"]
+
+
+@dataclass(frozen=True)
+class FaultTrialStats:
+    """Aggregated outcome of fault-injection trials at one failure rate."""
+
+    name: str
+    n: int
+    fail_fraction: float
+    trials: int
+    connected_fraction: float  #: trials where the survivors stay connected
+    mean_diameter: float  #: over connected trials (nan if none)
+    mean_aspl: float  #: over connected trials (nan if none)
+
+    def row(self) -> list:
+        return [
+            self.name,
+            self.fail_fraction,
+            round(self.connected_fraction, 3),
+            round(self.mean_diameter, 2) if self.mean_diameter == self.mean_diameter else "-",
+            round(self.mean_aspl, 3) if self.mean_aspl == self.mean_aspl else "-",
+        ]
+
+
+def degrade(topo: Topology, fail_links: list[Link]) -> Topology:
+    """Copy of ``topo`` with the given links removed."""
+    dead = {l.endpoints() for l in fail_links}
+    kept = [l for l in topo.links if l.endpoints() not in dead]
+    return Topology(topo.n, kept, name=f"{topo.name}-minus{len(dead)}")
+
+
+def fault_sweep(
+    topo: Topology,
+    fail_fraction: float,
+    trials: int = 20,
+    seed: int | np.random.Generator | None = 0,
+) -> FaultTrialStats:
+    """Inject random link failures and measure surviving hop metrics.
+
+    Each trial removes ``round(fail_fraction * num_links)`` links chosen
+    uniformly without replacement. Diameter/ASPL are averaged over the
+    trials whose survivor graph is still connected.
+    """
+    if not (0.0 <= fail_fraction < 1.0):
+        raise ValueError(f"fail_fraction must be in [0, 1), got {fail_fraction}")
+    rng = make_rng(seed)
+    k = round(fail_fraction * topo.num_links)
+
+    connected = 0
+    diameters: list[float] = []
+    aspls: list[float] = []
+    links = list(topo.links)
+    for _ in range(trials):
+        idx = rng.choice(len(links), size=k, replace=False) if k else []
+        survivor = degrade(topo, [links[i] for i in idx])
+        ncomp, _ = connected_components(survivor.adjacency_csr, directed=False)
+        if ncomp != 1:
+            continue
+        connected += 1
+        dist = shortest_path(survivor.adjacency_csr, method="D", unweighted=True, directed=False)
+        mask = ~np.eye(survivor.n, dtype=bool)
+        vals = dist[mask]
+        diameters.append(float(vals.max()))
+        aspls.append(float(vals.mean()))
+
+    return FaultTrialStats(
+        name=topo.name,
+        n=topo.n,
+        fail_fraction=fail_fraction,
+        trials=trials,
+        connected_fraction=connected / trials,
+        mean_diameter=float(np.mean(diameters)) if diameters else float("nan"),
+        mean_aspl=float(np.mean(aspls)) if aspls else float("nan"),
+    )

@@ -1,0 +1,96 @@
+"""Path-diversity analysis.
+
+Kleinberg-style small-world graphs provide "an abundant choice of short
+routes between any two nodes" (Section IV-A); path diversity also
+determines how much a minimal-adaptive router can spread load, and how
+many link failures a pair can survive. Two measures:
+
+* **minimal-path counts** -- number of distinct shortest paths
+  (dynamic programming, exact);
+* **disjoint-path counts** -- edge-disjoint path count = max-flow with
+  unit capacities (Menger), lower-bounding fault tolerance per pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["PathDiversity", "path_diversity"]
+
+
+@dataclass(frozen=True)
+class PathDiversity:
+    """Diversity statistics over sampled (or all) node pairs."""
+
+    name: str
+    n: int
+    pairs: int
+    mean_minimal_paths: float  #: geometric mean of shortest-path counts
+    mean_disjoint_paths: float  #: mean edge-disjoint path count
+    min_disjoint_paths: int  #: worst pair (connectivity lower bound)
+
+    def row(self) -> list:
+        return [
+            self.name,
+            round(self.mean_minimal_paths, 2),
+            round(self.mean_disjoint_paths, 2),
+            self.min_disjoint_paths,
+        ]
+
+
+def path_diversity(
+    topo: Topology,
+    sample_pairs: int | None = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> PathDiversity:
+    """Measure path diversity of ``topo`` over sampled pairs.
+
+    The minimal-path count uses the exact DP over the distance matrix;
+    edge-disjoint counts run one unit-capacity max-flow per pair.
+    ``sample_pairs=None`` means all ordered pairs (slow beyond ~64
+    nodes because of the per-pair max-flow).
+    """
+    # Imported here: routing.table depends on analysis.metrics, so a
+    # top-level import would make the analysis package circular.
+    from repro.routing.table import ShortestPathTable
+
+    rng = make_rng(seed)
+    n = topo.n
+    if sample_pairs is None:
+        pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    else:
+        pairs = []
+        while len(pairs) < sample_pairs:
+            s, t = (int(v) for v in rng.integers(0, n, size=2))
+            if s != t:
+                pairs.append((s, t))
+
+    table = ShortestPathTable(topo)
+    counts = table.path_count_matrix()
+
+    g = topo.to_networkx()
+    for u, v in g.edges:
+        g.edges[u, v]["capacity"] = 1
+
+    minimal = []
+    disjoint = []
+    for s, t in pairs:
+        minimal.append(counts[s, t])
+        flow = nx.maximum_flow_value(g, s, t)
+        disjoint.append(int(flow))
+
+    log_counts = np.log(np.maximum(np.array(minimal, dtype=float), 1.0))
+    return PathDiversity(
+        name=topo.name,
+        n=n,
+        pairs=len(pairs),
+        mean_minimal_paths=float(np.exp(log_counts.mean())),
+        mean_disjoint_paths=float(np.mean(disjoint)),
+        min_disjoint_paths=int(np.min(disjoint)),
+    )

@@ -1,0 +1,87 @@
+"""Small-world indices (Watts-Strogatz, the paper's refs [14], [20]).
+
+The DSN design claim is that deterministic shortcuts recreate the
+small-world effect of Kleinberg/WS random models: short characteristic
+path length at near-lattice clustering. These indices quantify that for
+our extended analysis (they are not in the paper's figures, but back the
+Section II narrative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.metrics import average_shortest_path_length
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["SmallWorldIndices", "clustering_coefficient", "small_world_indices"]
+
+
+def clustering_coefficient(topo: Topology) -> float:
+    """Average local clustering coefficient."""
+    return float(nx.average_clustering(topo.to_networkx()))
+
+
+@dataclass(frozen=True)
+class SmallWorldIndices:
+    """Path length / clustering of a topology vs a degree-matched random graph."""
+
+    aspl: float
+    clustering: float
+    random_aspl: float
+    random_clustering: float
+
+    @property
+    def sigma(self) -> float:
+        """WS small-world coefficient: (C/C_rand) / (L/L_rand); > 1 is small-world."""
+        if self.random_clustering == 0 or self.random_aspl == 0:
+            return float("nan")
+        c_ratio = self.clustering / self.random_clustering
+        l_ratio = self.aspl / self.random_aspl
+        return c_ratio / l_ratio if l_ratio > 0 else float("nan")
+
+    @property
+    def path_length_ratio(self) -> float:
+        """L / L_rand -- how close the topology's ASPL is to random-graph optimal."""
+        return self.aspl / self.random_aspl if self.random_aspl else float("nan")
+
+
+def small_world_indices(
+    topo: Topology,
+    seed: int | np.random.Generator | None = 0,
+    samples: int = 3,
+) -> SmallWorldIndices:
+    """Compare ``topo`` against degree-matched random regular graphs.
+
+    The reference ensemble fixes the (rounded) average degree and
+    resamples ``samples`` connected random regular graphs.
+    """
+    rng = make_rng(seed)
+    d = max(3, round(topo.average_degree))
+    n = topo.n
+    if (n * d) % 2:
+        d += 1
+
+    aspls, clusterings = [], []
+    for _ in range(samples):
+        g = nx.random_regular_graph(d, n, seed=int(rng.integers(0, 2**31 - 1)))
+        if not nx.is_connected(g):
+            continue
+        from repro.topologies.base import Link, LinkClass
+
+        rt = Topology(n, [Link(u, v, LinkClass.RANDOM) for u, v in g.edges()], name="ref")
+        aspls.append(average_shortest_path_length(rt))
+        clusterings.append(nx.average_clustering(g))
+    if not aspls:
+        raise RuntimeError("no connected random reference graph sampled")
+
+    return SmallWorldIndices(
+        aspl=average_shortest_path_length(topo),
+        clustering=clustering_coefficient(topo),
+        random_aspl=float(np.mean(aspls)),
+        random_clustering=float(np.mean(clusterings)),
+    )

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes every reproduction experiment as a subcommand so figures can be
+regenerated without writing code:
+
+= =========== =====================================================
+  info         inspect one topology (metrics, degrees, cable)
+  fig7         diameter vs network size
+  fig8         average shortest path length vs network size
+  fig9         average cable length vs network size (floorplan model)
+  fig10        latency vs accepted traffic (network simulation)
+  theory       validate the Fact 1-3 / Theorem 1-2 bounds
+  balance      custom routing vs up*/down* channel loads (E13)
+  related      related-work diameter-and-degree + DLN-x + greedy tables
+  robustness   link-failure degradation and bisection bounds
+  placement    cabinet-placement optimization gains (refs [7], [11])
+  claims       machine-checked scorecard of every quantitative claim
+= =========== =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _sizes(arg: str) -> tuple[int, ...]:
+    return tuple(int(s) for s in arg.split(","))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Distributed Shortcut Networks (ICPP 2013)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="inspect one topology")
+    info.add_argument("n", type=int)
+    info.add_argument("--kind", default="dsn")
+    info.add_argument("--seed", type=int, default=0)
+
+    for name, help_ in (
+        ("fig7", "diameter vs network size"),
+        ("fig8", "average shortest path length vs network size"),
+        ("fig9", "average cable length vs network size"),
+    ):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument("--sizes", type=_sizes, default=(32, 64, 128, 256, 512, 1024, 2048))
+        sp.add_argument("--seed", type=int, default=0)
+
+    f10 = sub.add_parser("fig10", help="latency vs accepted traffic (simulation)")
+    f10.add_argument("--pattern", default="uniform",
+                     choices=["uniform", "bit_reversal", "neighboring"])
+    f10.add_argument("--loads", type=lambda s: tuple(float(x) for x in s.split(",")),
+                     default=(1.0, 4.0, 8.0, 12.0))
+    f10.add_argument("--n", type=int, default=64)
+    f10.add_argument("--full", action="store_true", help="paper-scale windows")
+    f10.add_argument("--seed", type=int, default=1)
+
+    th = sub.add_parser("theory", help="validate Section IV-C bounds")
+    th.add_argument("--sizes", type=_sizes, default=(64, 100, 250, 1024))
+
+    bal = sub.add_parser("balance", help="routing balance comparison (E13)")
+    bal.add_argument("--n", type=int, default=64)
+
+    sub.add_parser("related", help="related-work comparison tables")
+
+    rob = sub.add_parser("robustness", help="fault tolerance + bisection")
+    rob.add_argument("--n", type=int, default=128)
+    rob.add_argument("--trials", type=int, default=10)
+
+    pl = sub.add_parser("placement", help="cabinet-placement optimization gains")
+    pl.add_argument("--n", type=int, default=256)
+    pl.add_argument("--iterations", type=int, default=20_000)
+
+    rep = sub.add_parser("report", help="regenerate the full results document")
+    rep.add_argument("--out", default=None, help="write to a file instead of stdout")
+    rep.add_argument("--sim", action="store_true", help="include the Fig. 10 simulations")
+    rep.add_argument("--full", action="store_true", help="paper-scale sweeps")
+    rep.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("claims", help="run the paper-claims scorecard (E29)")
+
+    dia = sub.add_parser("diagram", help="draw a DSN's structure or a route")
+    dia.add_argument("n", type=int)
+    dia.add_argument("--route", type=lambda s: tuple(int(x) for x in s.split(",")),
+                     default=None, metavar="S,T", help="draw the route S -> T")
+    dia.add_argument("--max-nodes", type=int, default=40)
+
+    return p
+
+
+def _cmd_info(args) -> None:
+    from repro.analysis import analyze
+    from repro.experiments import make_topology
+    from repro.layout import average_cable_length
+
+    topo = make_topology(args.kind, args.n, seed=args.seed)
+    m = analyze(topo)
+    print(f"{topo.name}: n={m.n}, links={m.num_links}")
+    print(f"  diameter            {m.diameter}")
+    print(f"  avg shortest path   {m.aspl:.3f}")
+    print(f"  degrees             {topo.degree_census()} (avg {m.average_degree:.2f})")
+    print(f"  avg cable length    {average_cable_length(topo):.2f} m (cabinet floorplan)")
+    if hasattr(topo, "p"):
+        from repro.core import dsn_theory
+
+        th = dsn_theory(topo.n, topo.x)
+        print(f"  DSN parameters      p={topo.p}, r={topo.r}, x={topo.x}")
+        print(f"  bounds              diameter <= {th.diameter_bound}, "
+              f"routing <= {th.routing_diameter_bound}")
+
+
+def _cmd_hop_sweep(args, which: str) -> None:
+    from repro.experiments import fig7_diameter, fig8_aspl, format_hop_sweep
+
+    fn = fig7_diameter if which == "fig7" else fig8_aspl
+    title = "Figure 7: diameter (hops)" if which == "fig7" else "Figure 8: ASPL (hops)"
+    print(format_hop_sweep(fn(sizes=args.sizes, seed=args.seed), title))
+
+
+def _cmd_fig9(args) -> None:
+    from repro.experiments import fig9_cable, format_cable_sweep
+
+    print(format_cable_sweep(fig9_cable(sizes=args.sizes, seed=args.seed),
+                             "Figure 9: average cable length (m)"))
+
+
+def _cmd_fig10(args) -> None:
+    from repro.experiments import fig10, format_curves
+    from repro.sim import SimConfig
+    from repro.viz import ascii_plot
+
+    config = SimConfig() if args.full else SimConfig(
+        warmup_ns=4000, measure_ns=12000, drain_ns=24000
+    )
+    curves = fig10(args.pattern, loads=args.loads, n=args.n, config=config, seed=args.seed)
+    print(format_curves(curves, f"Figure 10 ({args.pattern})"))
+    if len(args.loads) > 1:
+        print()
+        print(ascii_plot(
+            list(args.loads),
+            {c.topology: c.latency() for c in curves},
+            x_label="offered Gbit/s/host",
+            y_label="avg latency ns",
+        ))
+
+
+def _cmd_theory(args) -> None:
+    from repro.experiments import check_degrees, check_line_cable, check_routing
+
+    deg = [check_degrees(n) for n in args.sizes]
+    print(format_table(
+        ["n", "x", "min_deg", "max_deg", "avg_deg", "deg5", "deg5_bound", "verdict"],
+        [c.row() for c in deg],
+        title="Fact 1: degrees",
+    ))
+    print()
+    rt = [check_routing(n, sample_pairs=None if n <= 256 else 2000) for n in args.sizes]
+    print(format_table(
+        ["n", "x", "rt_diam", "<=3p+r", "diam", "<=2.5p+r",
+         "E[route]", "<=2p", "E[short]", "<=1.5p", "verdict"],
+        [c.row() for c in rt],
+        title="Facts 2-3 / Theorem 2(a): path lengths",
+    ))
+    print()
+    cable = [check_line_cable(n) for n in args.sizes]
+    print(format_table(
+        ["n", "p", "dsn_avg_sc", "bound", "dln22_avg_sc", "expect",
+         "saving", "~p/3", "verdict"],
+        [c.row() for c in cable],
+        title="Theorem 2(b): line-layout cable",
+    ))
+    bad = [c for c in deg + rt + cable if not c.ok]
+    if bad:
+        print(f"\n{len(bad)} BOUND VIOLATIONS", file=sys.stderr)
+        sys.exit(1)
+    print("\nall bounds hold")
+
+
+def _cmd_balance(args) -> None:
+    from repro.experiments import compare_balance, format_balance
+
+    print(format_balance(compare_balance(args.n)))
+
+
+def _cmd_related(_args) -> None:
+    from repro.experiments import (
+        diameter_degree_table,
+        dln_family_table,
+        greedy_vs_dsn_routing,
+    )
+
+    print(diameter_degree_table())
+    print()
+    print(dln_family_table())
+    print()
+    rows = [greedy_vs_dsn_routing(side, samples=200).row() for side in (8, 16, 24)]
+    print(format_table(
+        ["n", "greedy_mean", "greedy_max", "dsn_mean", "dsn_max", "log2n"],
+        rows,
+        title="Kleinberg greedy (Theta(log^2 n)) vs DSN custom routing (O(log n))",
+    ))
+
+
+def _cmd_robustness(args) -> None:
+    from repro.experiments import bisection_table, fault_table, rerouting_table
+
+    table, _ = fault_table(n=args.n, trials=args.trials)
+    print(table)
+    print()
+    table, _ = rerouting_table(n=args.n, trials=max(3, args.trials // 2))
+    print(table)
+    print()
+    table, _ = bisection_table(n=args.n)
+    print(table)
+
+
+def _cmd_placement(args) -> None:
+    from repro.experiments import placement_table
+
+    table, _ = placement_table(n=args.n, iterations=args.iterations)
+    print(table)
+
+
+def _cmd_report(args) -> None:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(include_sim=args.sim, full=args.full, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(text)} bytes)")
+    else:
+        print(text)
+
+
+def _cmd_claims(_args) -> None:
+    from repro.experiments.claims import check_claims, format_claims
+
+    results = check_claims()
+    print(format_claims(results))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        print(f"\n{len(failed)} claims FAILED", file=sys.stderr)
+        sys.exit(1)
+    print("\nall claims reproduced")
+
+
+def _cmd_diagram(args) -> None:
+    from repro.core import DSNTopology, dsn_route
+    from repro.viz import dsn_ring_diagram, route_diagram
+
+    topo = DSNTopology(args.n)
+    if args.route is not None:
+        s, t = args.route
+        print(route_diagram(topo, dsn_route(topo, s, t)))
+    else:
+        print(dsn_ring_diagram(topo, max_nodes=args.max_nodes))
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Entry point; tolerates a closed stdout (e.g. ``| head``)."""
+    try:
+        _dispatch(argv)
+    except BrokenPipeError:  # pragma: no cover - shell-pipe convenience
+        import os
+
+        # Reopen stdout on devnull so Python's shutdown flush is quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
+
+
+def _dispatch(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "fig7": lambda a: _cmd_hop_sweep(a, "fig7"),
+        "fig8": lambda a: _cmd_hop_sweep(a, "fig8"),
+        "fig9": _cmd_fig9,
+        "fig10": _cmd_fig10,
+        "theory": _cmd_theory,
+        "balance": _cmd_balance,
+        "related": _cmd_related,
+        "robustness": _cmd_robustness,
+        "placement": _cmd_placement,
+        "report": _cmd_report,
+        "diagram": _cmd_diagram,
+        "claims": _cmd_claims,
+    }
+    handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,64 @@
+"""The paper's contribution: DSN topologies and their custom routing.
+
+* :class:`DSNTopology` -- the basic DSN-x-n construction (Section IV-B);
+* :func:`dsn_route` -- the three-phase distance-halving routing (Fig. 2),
+  with the Section V-D overshoot-avoiding variant;
+* :class:`DSNETopology` / :class:`DSNVTopology` + :func:`dsn_route_extended`
+  -- the deadlock-free extensions (Section V-A, Theorem 3);
+* :class:`DSNDTopology` + :func:`dsnd_route` -- the diameter-improving
+  express-link construction (Section V-B);
+* :class:`FlexibleDSNTopology` + :func:`flexible_route` -- arbitrary-size
+  networks with minor nodes (Section V-C);
+* :func:`dsn_theory` -- every closed-form bound of Section IV-C, used by
+  the validation experiments.
+"""
+
+from repro.core.dsn import DSNTopology
+from repro.core.extensions import (
+    DSNDTopology,
+    DSNETopology,
+    DSNVTopology,
+    ExtendedChannelPolicy,
+    dsn_route_extended,
+    dsnd_route,
+)
+from repro.core.flexible import FlexibleDSNTopology, flexible_route
+from repro.core.routing import (
+    BASIC_POLICY,
+    ChannelPolicy,
+    HopKind,
+    Phase,
+    RouteHop,
+    RouteResult,
+    dsn_route,
+    route_all_pairs,
+)
+from repro.core.supergraph import super_graph, super_shortcut_spans, verify_dln_collapse
+from repro.core.theory import DSNTheory, applies_fact2, dln22_average_shortcut_length, dsn_theory
+
+__all__ = [
+    "DSNTopology",
+    "DSNETopology",
+    "DSNVTopology",
+    "DSNDTopology",
+    "FlexibleDSNTopology",
+    "ExtendedChannelPolicy",
+    "dsn_route",
+    "dsn_route_extended",
+    "dsnd_route",
+    "flexible_route",
+    "route_all_pairs",
+    "BASIC_POLICY",
+    "ChannelPolicy",
+    "HopKind",
+    "Phase",
+    "RouteHop",
+    "RouteResult",
+    "super_graph",
+    "super_shortcut_spans",
+    "verify_dln_collapse",
+    "DSNTheory",
+    "dsn_theory",
+    "applies_fact2",
+    "dln22_average_shortcut_length",
+]

@@ -1,0 +1,195 @@
+"""The basic DSN-x-n topology (paper Section IV-B).
+
+Construction
+------------
+
+* ``n`` switches on a ring; node ``i`` has *pred* ``(i-1) mod n`` and
+  *succ* ``(i+1) mod n`` local links.
+* ``p = ceil(log2 n)``. Node ``i`` carries **level** ``(i mod p) + 1``
+  (levels assigned periodically: level ``i`` to nodes ``k*p + i - 1``).
+  Its **height** is ``p + 1 - level``.
+* Each node of level ``l <= x`` owns the group's *level-l shortcut*: an
+  undirected link to the level-``(l+1)`` node at minimum clockwise
+  distance that is at least ``ceil(n / 2**l)``.
+* Each run of ``p`` consecutive nodes ``[k*p, (k+1)*p)`` forms a **super
+  node**; collapsing super nodes yields exactly a DLN-x graph, which is
+  why distance-halving routing works (Section IV-B, Fig. 1(c)).
+  If ``p`` does not divide ``n`` the final super node is *incomplete*
+  with only ``r = n mod p`` nodes (paper Fig. 4, red nodes).
+
+The choice ``p = ceil(log2 n)`` (not floor) follows the paper's own
+examples: DSN-10-1020 has ``p = 10 = ceil(log2 1020)`` (Section V-C) and
+the Fig. 4 caption gives ``n = 1024, p = 10, r = 4``.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, LinkClass, Topology
+from repro.topologies.ring import ring_links
+from repro.util import ceil_div, ilog2_ceil
+
+__all__ = ["DSNTopology"]
+
+#: Smallest network for which every shortcut span fits on the ring.
+MIN_DSN_NODES = 16
+
+
+class DSNTopology(Topology):
+    """Basic Distributed Shortcut Network DSN-x-n.
+
+    Parameters
+    ----------
+    n:
+        Number of switches (>= 16).
+    x:
+        Number of distinct shortcut lengths, ``1 <= x <= p - 1`` where
+        ``p = ceil(log2 n)``. Defaults to ``p - 1`` (the full set, the
+        configuration evaluated in the paper's Sections VI-VII).
+    extra_links:
+        Additional links appended by extension topologies (e.g. the
+        DSN-D express ring, Section V-B).
+    p:
+        Super-node size override for design-space ablations. The paper
+        fixes ``p = ceil(log2 n)`` -- exactly enough levels that the
+        longest shortcut halves the ring and the shortest is local;
+        smaller ``p`` drops the longest-range levels (bigger diameter,
+        less cable), larger ``p`` adds levels whose spans clamp to the
+        local scale (more degree-2 nodes, no shorter routes). Leave
+        ``None`` for the paper's construction.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        x: int | None = None,
+        extra_links: list[Link] | None = None,
+        name: str | None = None,
+        p: int | None = None,
+    ):
+        if n < MIN_DSN_NODES:
+            raise ValueError(
+                f"DSN needs n >= {MIN_DSN_NODES} so that shortcut spans fit "
+                f"on the ring, got n={n}"
+            )
+        p_natural = ilog2_ceil(n)
+        if p is None:
+            p = p_natural
+        elif not (2 <= p <= n // 2):
+            raise ValueError(f"p must satisfy 2 <= p <= n/2, got p={p}")
+        if x is None:
+            x = p - 1
+        if not (1 <= x <= p - 1):
+            raise ValueError(f"x must satisfy 1 <= x <= p-1 = {p - 1}, got x={x}")
+        self.p = p
+        self.x = x
+        self.r = n % p
+
+        self._shortcut_target = self._build_shortcuts(n, p, x)
+        links: list[Link] = ring_links(n)
+        for i, j in enumerate(self._shortcut_target):
+            if j >= 0:
+                links.append(Link(i, j, LinkClass.SHORTCUT))
+        if extra_links:
+            links.extend(extra_links)
+        default_name = f"DSN-{x}-{n}" if p == p_natural else f"DSN-{x}-{n}(p={p})"
+        super().__init__(n, links, name=name or default_name)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_shortcuts(n: int, p: int, x: int) -> list[int]:
+        """Target node of each node's outgoing shortcut (-1 if none).
+
+        The level-l shortcut of node ``i`` lands on the first node
+        clockwise of ``i + ceil(n/2^l)`` whose level is ``l + 1``.
+        Levels repeat with period ``p``, so the scan needs at most
+        ``p + r`` extra steps (the incomplete final super node can lack
+        the wanted level, delaying the hit -- this is exactly the
+        enlarged-overshoot effect of Section IV-C).
+        """
+        r = n % p
+        targets = [-1] * n
+        for i in range(n):
+            l = (i % p) + 1
+            if l > x:
+                continue
+            span = ceil_div(n, 2**l)
+            want = l + 1
+            found = -1
+            # Scan clockwise from the minimum span; p + r + 1 positions
+            # always suffice to meet the wanted level.
+            for extra in range(p + r + 1):
+                j = (i + span + extra) % n
+                if (j % p) + 1 == want:
+                    found = j
+                    break
+            if found < 0:
+                raise AssertionError(
+                    f"no level-{want} node within p+r of node {i} (n={n})"
+                )
+            if found == i or (found - i) % n == 1 or (i - found) % n == 1:
+                # Would duplicate a ring link or self-loop; only possible
+                # for degenerate tiny n excluded by MIN_DSN_NODES, but
+                # guard so the invariant is explicit.
+                continue
+            targets[i] = found
+        return targets
+
+    # ------------------------------------------------------------------
+    # DSN vocabulary (Section IV-B)
+    # ------------------------------------------------------------------
+    def level(self, node: int) -> int:
+        """Level of ``node``: ``(node mod p) + 1``, in ``1..p``."""
+        return (node % self.p) + 1
+
+    def height(self, node: int) -> int:
+        """Height ``p + 1 - level``; higher nodes own longer shortcuts."""
+        return self.p + 1 - self.level(node)
+
+    def succ(self, node: int) -> int:
+        return (node + 1) % self.n
+
+    def pred(self, node: int) -> int:
+        return (node - 1) % self.n
+
+    def shortcut_from(self, node: int) -> int | None:
+        """Target of ``node``'s outgoing shortcut, or ``None``."""
+        t = self._shortcut_target[node]
+        return None if t < 0 else t
+
+    def shortcut_span(self, node: int) -> int | None:
+        """Clockwise ring distance covered by ``node``'s shortcut."""
+        t = self._shortcut_target[node]
+        return None if t < 0 else (t - node) % self.n
+
+    def super_node(self, node: int) -> int:
+        """Index of the super node (group of p consecutive nodes)."""
+        return node // self.p
+
+    @property
+    def num_super_nodes(self) -> int:
+        """Number of super nodes, counting an incomplete final one."""
+        return ceil_div(self.n, self.p)
+
+    def super_node_members(self, k: int) -> range:
+        """Nodes of super node ``k`` (the last one may hold only r nodes)."""
+        if not (0 <= k < self.num_super_nodes):
+            raise ValueError(f"super node index {k} out of range")
+        return range(k * self.p, min((k + 1) * self.p, self.n))
+
+    def incoming_shortcuts(self, node: int) -> list[int]:
+        """Nodes whose shortcut lands on ``node`` (at most 2, Fact 1)."""
+        return [i for i, t in enumerate(self._shortcut_target) if t == node]
+
+    def required_level(self, distance: int) -> int:
+        """Level whose shortcut halves a clockwise ``distance``.
+
+        Returns ``l = floor(log2(n / distance)) + 1``, the unique level
+        with ``n/2^l < distance <= n/2^(l-1)`` (routing algorithm line 3).
+        Computed exactly: ``floor(log2(n/d)) = floor(log2(n // d))`` for
+        integers because both count the largest k with ``2^k * d <= n``.
+        """
+        if not (1 <= distance <= self.n):
+            raise ValueError(f"distance must be in [1, n], got {distance}")
+        return (self.n // distance).bit_length()

@@ -1,0 +1,305 @@
+"""DSN topology extensions: DSN-E / DSN-V (Section V-A) and DSN-D (V-B).
+
+Deadlock-free routing (Section V-A, Theorem 3)
+----------------------------------------------
+
+The basic DSN-Routing reuses pred channels in both PRE-WORK and FINISH,
+and many concurrent FINISH walks can close a dependency loop around the
+ring. The paper's fix adds dedicated resources:
+
+* **Up links** -- one extra local link per node, used *only* for
+  PRE-WORK's uphill walk (and, in our concretization, for FINISH's
+  forward walk in the opposite direction: a walk that never shares
+  channels with MAIN's succ traffic);
+* **Extra links** -- ``2p`` links ``(i, i-1)`` for ``i = 1..2p``. A
+  FINISH walk whose *destination lies in the dateline region
+  [0, 2p)* rides Extra channels while inside that region.
+
+Because a FINISH walk spans at most ``p + r < 2p`` hops, walks that
+cross node 0 necessarily *start* inside the region, so the plain
+pred/Up channels within ``[1, 2p]`` are never used by FINISH -- the
+dependency chain around the ring has a permanent gap and can never
+close. :mod:`repro.routing.cdg` verifies this acyclicity exhaustively
+(experiment E11).
+
+**DSN-E** realizes Up/Extra as additional *physical* links (parallel
+cables on the ring segments -- kept in :attr:`DSNETopology.parallel_links`
+because they change cabling and channel counts but not graph distances).
+**DSN-V** keeps the basic topology and realizes the same discipline as
+additional *virtual channels* on the ring links; both share the
+:class:`ExtendedChannelPolicy` below, which tags each hop with the
+channel class the CDG analysis consumes.
+
+DSN-D (Section V-B)
+-------------------
+
+In DSN-(p-1) the ``log p`` shortest shortcut levels are useless (they
+are just ``(i, i+p+1)`` hops that overshoot). DSN-D-d drops them
+(base ``x = p - ceil(log p)``) and instead adds ``d`` short *express
+links* per super node, connecting every ``q = ceil(p/d)``-th node in a
+secondary ring; PRE-WORK and FINISH ride the express ring to cut their
+local walks by a factor of about ``1 - 1/d``. For DSN-D-2 the paper
+quotes diameter ~``(7/4)p`` and routing diameter ~``2p``.
+"""
+
+from __future__ import annotations
+
+from repro.core.dsn import DSNTopology
+from repro.core.routing import (
+    ChannelPolicy,
+    HopKind,
+    Phase,
+    RouteHop,
+    RouteResult,
+    dsn_route,
+)
+from repro.topologies.base import Link, LinkClass
+from repro.util import ceil_div, clockwise_distance, ilog2_ceil
+
+__all__ = [
+    "DSNETopology",
+    "DSNVTopology",
+    "DSNDTopology",
+    "ExtendedChannelPolicy",
+    "dsn_route_extended",
+    "dsnd_route",
+]
+
+
+class ExtendedChannelPolicy(ChannelPolicy):
+    """Channel discipline of the DSN-E / DSN-V extended routing.
+
+    * PRE-WORK pred-moves -> ``UP`` channels;
+    * FINISH pred-moves -> ``EXTRA`` inside the dateline region when the
+      destination lies in ``[0, 2p)``, else ``PRED``;
+    * FINISH succ-moves -> ``EXTRA`` under the same dateline rule, else
+      ``UP`` (the forward direction of the Up links), never the MAIN
+      succ channels.
+    """
+
+    def __init__(self, n: int, p: int):
+        self.n = n
+        self.region = 2 * p  #: the dateline region is [0, 2p)
+
+    def _dest_in_region(self, t: int) -> bool:
+        return 0 <= t < self.region
+
+    def prework_kind(self, u: int, t: int) -> HopKind:
+        return HopKind.UP
+
+    def finish_pred_kind(self, u: int, t: int) -> HopKind:
+        # pred-move u -> u-1 rides Extra link (u, u-1), defined for
+        # u in [1, 2p].
+        if self._dest_in_region(t) and 1 <= u <= self.region:
+            return HopKind.EXTRA
+        return HopKind.PRED
+
+    def finish_succ_kind(self, u: int, t: int) -> HopKind:
+        # succ-move u -> u+1 rides Extra link (u+1, u), defined for
+        # u+1 in [1, 2p].
+        nxt = (u + 1) % self.n
+        if self._dest_in_region(t) and 1 <= nxt <= self.region:
+            return HopKind.EXTRA
+        return HopKind.UP
+
+
+class DSNETopology(DSNTopology):
+    """DSN-E: basic DSN (x = p-1) plus physical Up and Extra links.
+
+    Up/Extra links are parallel to existing ring links, so they do not
+    change the simple-graph structure (distances, diameter); they are
+    recorded in :attr:`parallel_links` and counted by the cable-length
+    analysis and the channel model.
+    """
+
+    def __init__(self, n: int):
+        # Section V-A fixes x = p - 1 so every super node has a full
+        # shortcut set.
+        super().__init__(n, x=None)
+        up = [Link(i, (i - 1) % n, LinkClass.UP) for i in range(n)]
+        extra = [Link(i, i - 1, LinkClass.EXTRA) for i in range(1, 2 * self.p + 1)]
+        self.parallel_links: tuple[Link, ...] = tuple(up + extra)
+        self.name = f"DSN-E-{n}"
+
+    @property
+    def up_links(self) -> list[Link]:
+        return [l for l in self.parallel_links if l.cls is LinkClass.UP]
+
+    @property
+    def extra_links(self) -> list[Link]:
+        return [l for l in self.parallel_links if l.cls is LinkClass.EXTRA]
+
+    def total_degree(self, node: int) -> int:
+        """Degree counting parallel Up/Extra cables."""
+        extra = sum(1 for l in self.parallel_links if node in l.endpoints())
+        return self.degree(node) + extra
+
+    def policy(self) -> ExtendedChannelPolicy:
+        return ExtendedChannelPolicy(self.n, self.p)
+
+
+class DSNVTopology(DSNTopology):
+    """DSN-V: basic DSN with the Up/Extra discipline on virtual channels.
+
+    Physically identical to the basic DSN (x = p-1); the extended
+    routing's UP/EXTRA hop kinds map to dedicated virtual channels on
+    the existing ring links instead of dedicated cables.
+    """
+
+    def __init__(self, n: int):
+        super().__init__(n, x=None)
+        self.name = f"DSN-V-{n}"
+
+    def policy(self) -> ExtendedChannelPolicy:
+        return ExtendedChannelPolicy(self.n, self.p)
+
+
+def dsn_route_extended(topo: DSNETopology | DSNVTopology, s: int, t: int) -> RouteResult:
+    """Deadlock-free extended DSN-Routing (Theorem 3).
+
+    Identical hop sequence to the basic algorithm -- so the ``3p + r``
+    routing diameter of Fact 2 is preserved -- but every hop is tagged
+    with the channel class of the Section V-A discipline.
+    """
+    return dsn_route(topo, s, t, policy=topo.policy())
+
+
+# ----------------------------------------------------------------------
+# DSN-D: diameter-improving construction (Section V-B)
+# ----------------------------------------------------------------------
+class DSNDTopology(DSNTopology):
+    """DSN-D-d: truncated shortcut set plus ``d`` express links per super node.
+
+    The base is DSN-x with ``x = p - ceil(log2 p)`` (dropping the
+    unhelpful shortest shortcuts); an express ring connects every
+    ``q = ceil(p/d)``-th node.
+    """
+
+    def __init__(self, n: int, d: int = 2):
+        p = ilog2_ceil(n)
+        if not (1 <= d < p):
+            raise ValueError(f"express density d must satisfy 1 <= d < p={p}, got {d}")
+        x = max(1, p - ilog2_ceil(p))
+        q = ceil_div(p, d)
+        if q < 2:
+            raise ValueError(f"express stride q must be >= 2, got {q} (n={n}, d={d})")
+
+        # Express ring over nodes {0, q, 2q, ..., wq}, closed back to 0.
+        w = ceil_div(n, q) - 1
+        stops = [i * q for i in range(w + 1) if i * q < n]
+        express = []
+        for a, b in zip(stops, stops[1:]):
+            express.append(Link(a, b, LinkClass.EXPRESS))
+        if len(stops) > 2:
+            express.append(Link(stops[-1], 0, LinkClass.EXPRESS))
+
+        super().__init__(n, x=x, extra_links=express, name=f"DSN-D-{d}-{n}")
+        self.d = d
+        self.q = q
+        self._express_stops = stops
+
+    @property
+    def express_stops(self) -> list[int]:
+        """Express-ring stop nodes (multiples of q)."""
+        return list(self._express_stops)
+
+    def express_next(self, stop: int) -> int:
+        """Next stop clockwise on the express ring."""
+        i = self._express_stops.index(stop)
+        return self._express_stops[(i + 1) % len(self._express_stops)]
+
+    def express_prev(self, stop: int) -> int:
+        i = self._express_stops.index(stop)
+        return self._express_stops[(i - 1) % len(self._express_stops)]
+
+    def is_express_stop(self, node: int) -> bool:
+        return node % self.q == 0 and node in set(self._express_stops)
+
+
+def dsnd_route(topo: DSNDTopology, s: int, t: int) -> RouteResult:
+    """DSN-D improved routing: express-accelerated PRE-WORK and FINISH.
+
+    Runs the basic algorithm, then rewrites each long local walk
+    (PRE-WORK pred run or FINISH run) to ride the express ring whenever
+    that saves hops: walk to the nearest express stop, take express
+    links, get off at the stop nearest the segment's end, walk locally.
+    """
+    base = dsn_route(topo, s, t)
+    if not base.hops:
+        return base
+
+    rewritten = RouteResult(source=s, dest=t)
+
+    # Split base hops into maximal runs of the same (phase, local-walk?).
+    runs: list[tuple[Phase, bool, list[RouteHop]]] = []
+    for hop in base.hops:
+        local = hop.kind in (HopKind.PRED, HopKind.SUCC)
+        if runs and runs[-1][0] is hop.phase and runs[-1][1] == local:
+            runs[-1][2].append(hop)
+        else:
+            runs.append((hop.phase, local, [hop]))
+
+    for phase, local, hops in runs:
+        if not local or len(hops) <= topo.q:
+            rewritten.hops.extend(hops)
+            continue
+        start = hops[0].src
+        end = hops[-1].dst
+        clockwise = hops[0].kind is HopKind.SUCC
+        rewritten.hops.extend(_express_walk(topo, start, end, clockwise, phase))
+
+    rewritten.validate()
+    return rewritten
+
+
+def _express_walk(
+    topo: DSNDTopology, start: int, end: int, clockwise: bool, phase: Phase
+) -> list[RouteHop]:
+    """Local walk from ``start`` to ``end`` using express stops when shorter."""
+    q = topo.q
+    n = topo.n
+
+    def local_hops(a: int, b: int) -> list[RouteHop]:
+        hops = []
+        u = a
+        step = 1 if clockwise else -1
+        kind = HopKind.SUCC if clockwise else HopKind.PRED
+        while u != b:
+            w = (u + step) % n
+            hops.append(RouteHop(u, w, kind, phase))
+            u = w
+        return hops
+
+    dist = (end - start) % n if clockwise else (start - end) % n
+    # Nearest express stops in the walking direction.
+    if clockwise:
+        on = -(-start // q) * q % n  # first stop at or after start
+        off = (end // q) * q  # last stop at or before end
+        stops_between = ((off - on) % n) // q if topo.is_express_stop(on) and topo.is_express_stop(off) else None
+    else:
+        on = (start // q) * q  # first stop at or before start
+        off = -(-end // q) * q % n  # first stop at or after end
+        stops_between = ((on - off) % n) // q if topo.is_express_stop(on) and topo.is_express_stop(off) else None
+
+    if stops_between is None or not topo.has_link(on, (on + q) % n if clockwise else (on - q) % n):
+        return local_hops(start, end)
+
+    express_cost = ((on - start) % n if clockwise else (start - on) % n) + stops_between + (
+        (end - off) % n if clockwise else (off - end) % n
+    )
+    if express_cost >= dist:
+        return local_hops(start, end)
+
+    hops = local_hops(start, on)
+    u = on
+    for _ in range(stops_between):
+        w = (u + q) % n if clockwise else (u - q) % n
+        if not topo.has_link(u, w):
+            # Irregular closing segment of the express ring; bail out to
+            # a plain local walk from here.
+            hops.extend(local_hops(u, end))
+            return hops
+        hops.append(RouteHop(u, w, HopKind.EXPRESS, phase))
+        u = w
+    hops.extend(local_hops(u, end))
+    return hops

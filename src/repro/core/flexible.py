@@ -1,0 +1,158 @@
+"""Flexible DSN with minor nodes (Section V-C).
+
+The strict construction wants ``n`` to be a multiple of ``p``. To
+support arbitrary sizes -- and incremental node addition or removal --
+the paper starts from a convenient *major* size (e.g. DSN-10-1020) and
+inserts **minor nodes** between majors, giving them fractional IDs like
+``10 1/2``. Minor nodes carry no shortcut; routing to a minor first
+routes to the major just before it and then walks succ links.
+
+We realize the fractional-ID scheme with an explicit ring order: node
+ids are re-numbered ``0..n-1`` around the ring, and the topology keeps
+the bidirectional mapping between ring ids and the underlying major
+DSN ids (plus the fractional labels for display).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.dsn import DSNTopology
+from repro.core.routing import HopKind, Phase, RouteHop, RouteResult, dsn_route
+from repro.topologies.base import Link, LinkClass, Topology
+
+__all__ = ["FlexibleDSNTopology", "flexible_route"]
+
+
+class FlexibleDSNTopology(Topology):
+    """A basic DSN over ``base_n`` majors plus minor nodes in the ring.
+
+    Parameters
+    ----------
+    base_n:
+        Size of the underlying basic DSN (the majors).
+    x:
+        Shortcut-set size of the underlying DSN (default ``p - 1``).
+    minors_after:
+        Major ids after which one minor node is inserted. A major id may
+        appear several times to insert several consecutive minors (they
+        get labels ``i + 1/2``, ``i + 2/3`` style fractions).
+
+    Example: the paper's size-1024 network is
+    ``FlexibleDSNTopology(1020, minors_after=[10, 20, 30, 40])``.
+    """
+
+    def __init__(self, base_n: int, minors_after: list[int], x: int | None = None):
+        self.major_dsn = DSNTopology(base_n, x=x)
+        for m in minors_after:
+            if not (0 <= m < base_n):
+                raise ValueError(f"minors_after entry {m} outside [0, {base_n})")
+
+        inserts: dict[int, int] = {}
+        for m in minors_after:
+            inserts[m] = inserts.get(m, 0) + 1
+
+        # Ring order: each major followed by its minors.
+        self._ring_of_major: list[int] = [0] * base_n  # major id -> ring id
+        labels: list[Fraction] = []
+        is_minor: list[bool] = []
+        major_before: list[int] = []  # ring id -> major id preceding (or self)
+        for major in range(base_n):
+            self._ring_of_major[major] = len(labels)
+            labels.append(Fraction(major))
+            is_minor.append(False)
+            major_before.append(major)
+            k = inserts.get(major, 0)
+            for j in range(1, k + 1):
+                labels.append(Fraction(major) + Fraction(j, k + 1))
+                is_minor.append(True)
+                major_before.append(major)
+
+        n = len(labels)
+        self.labels: tuple[Fraction, ...] = tuple(labels)
+        self._is_minor: tuple[bool, ...] = tuple(is_minor)
+        self._major_before: tuple[int, ...] = tuple(major_before)
+
+        links: list[Link] = [Link(i, (i + 1) % n, LinkClass.LOCAL) for i in range(n)]
+        for i in range(base_n):
+            j = self.major_dsn.shortcut_from(i)
+            if j is not None:
+                links.append(
+                    Link(self._ring_of_major[i], self._ring_of_major[j], LinkClass.SHORTCUT)
+                )
+        super().__init__(n, links, name=f"FlexDSN-{self.major_dsn.x}-{base_n}+{n - base_n}")
+
+    # ------------------------------------------------------------------
+    def is_minor(self, node: int) -> bool:
+        return self._is_minor[node]
+
+    @property
+    def num_minors(self) -> int:
+        return sum(self._is_minor)
+
+    def major_ring_id(self, major: int) -> int:
+        """Ring id of major node ``major`` (its id in the base DSN)."""
+        return self._ring_of_major[major]
+
+    def major_before(self, node: int) -> int:
+        """Major (base-DSN id) at or immediately before ``node`` on the ring."""
+        return self._major_before[node]
+
+    def label(self, node: int) -> Fraction:
+        """Paper-style fractional ID of a ring node (e.g. ``21/2``)."""
+        return self.labels[node]
+
+
+def flexible_route(topo: FlexibleDSNTopology, s: int, t: int) -> RouteResult:
+    """Route on a flexible DSN (ring ids).
+
+    Rule from Section V-C: route to the major node just before the
+    (possibly minor) destination with the ordinary DSN algorithm, then
+    walk succ links to the minor. A minor source first steps back to its
+    preceding major.
+    """
+    n = topo.n
+    result = RouteResult(source=s, dest=t)
+    if s == t:
+        return result
+
+    u = s
+    # Minor source: back up to the preceding major (at most a few hops).
+    while topo.is_minor(u):
+        w = (u - 1) % n
+        result.hops.append(RouteHop(u, w, HopKind.PRED, Phase.PREWORK))
+        u = w
+        if u == t:  # the destination sat between the source and its major
+            result.validate()
+            return result
+
+    s_major = topo.major_before(u)
+    t_major = topo.major_before(t)
+
+    # Route major-to-major on the underlying DSN, translating each hop
+    # back to ring ids (shortcuts map 1:1; local hops may need to skip
+    # over interleaved minors).
+    if s_major != t_major:
+        base = dsn_route(topo.major_dsn, s_major, t_major)
+        for hop in base.hops:
+            src_ring = topo.major_ring_id(hop.src)
+            dst_ring = topo.major_ring_id(hop.dst)
+            if hop.kind is HopKind.SHORTCUT:
+                result.hops.append(RouteHop(src_ring, dst_ring, hop.kind, hop.phase))
+            else:
+                step = 1 if hop.kind is HopKind.SUCC else -1
+                v = src_ring
+                while v != dst_ring:
+                    w = (v + step) % n
+                    result.hops.append(RouteHop(v, w, hop.kind, hop.phase))
+                    v = w
+        u = topo.major_ring_id(t_major)
+
+    # Walk succ to the (minor) destination.
+    while u != t:
+        w = (u + 1) % n
+        result.hops.append(RouteHop(u, w, HopKind.SUCC, Phase.FINISH))
+        u = w
+
+    result.validate()
+    return result

@@ -1,0 +1,250 @@
+"""DSN-Routing: the paper's custom distance-halving algorithm (Fig. 2).
+
+The route from ``s`` to ``t`` works on the *clockwise* distance
+``d = (t - u) mod n`` and runs in three phases:
+
+* **PRE-WORK** -- walk *pred* links until the current node's level is at
+  most the *required level* ``l`` (the level whose shortcut at least
+  halves ``d``), i.e. until the node is "high enough to look over to t";
+* **MAIN-PROCESS** -- alternate *succ* steps (to reach the node of level
+  exactly ``l`` inside the super node) and *shortcut* jumps (each of
+  which at least halves the remaining distance), until the LOOP-STOP
+  condition: the level ``x+1`` node is reached (no more shortcuts), the
+  distance is at most ``p``, or the last shortcut overshot ``t``;
+* **FINISH** -- walk local links (succ if short, pred if overshot) to
+  ``t``.
+
+Guarantees reproduced and tested here (Section IV-C):
+
+* Fact 2: for ``x > p - log p``, path length <= ``3p + r``;
+* Theorem 2(a): expected path length <= ``2p`` over uniform pairs.
+
+The module also implements the Section V-D *overshoot-avoiding* twist:
+when the selected shortcut would overshoot, first take one succ step and
+use the next node's (twice shorter) shortcut instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.dsn import DSNTopology
+from repro.util import clockwise_distance
+
+__all__ = [
+    "Phase",
+    "HopKind",
+    "RouteHop",
+    "RouteResult",
+    "ChannelPolicy",
+    "BASIC_POLICY",
+    "dsn_route",
+    "route_all_pairs",
+]
+
+
+class Phase(enum.Enum):
+    """Routing phase a hop belongs to (drives the deadlock analysis)."""
+
+    PREWORK = "prework"
+    MAIN = "main"
+    FINISH = "finish"
+
+
+class HopKind(enum.Enum):
+    """Which link type a hop traverses."""
+
+    PRED = "pred"
+    SUCC = "succ"
+    SHORTCUT = "shortcut"
+    UP = "up"  #: DSN-E Up link (extended routing)
+    EXTRA = "extra"  #: DSN-E Extra link (extended routing)
+    EXPRESS = "express"  #: DSN-D express link (improved routing)
+
+
+@dataclass(frozen=True)
+class RouteHop:
+    """One traversed directed channel."""
+
+    src: int
+    dst: int
+    kind: HopKind
+    phase: Phase
+
+
+@dataclass
+class RouteResult:
+    """A complete source-to-destination route with per-phase accounting."""
+
+    source: int
+    dest: int
+    hops: list[RouteHop] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+    @property
+    def path(self) -> list[int]:
+        """Node sequence ``[source, ..., dest]``."""
+        nodes = [self.source]
+        nodes.extend(h.dst for h in self.hops)
+        return nodes
+
+    def phase_length(self, phase: Phase) -> int:
+        return sum(1 for h in self.hops if h.phase is phase)
+
+    def kind_count(self, kind: HopKind) -> int:
+        return sum(1 for h in self.hops if h.kind is kind)
+
+    def validate(self) -> None:
+        """Raise if the hop chain is not contiguous or misses the dest."""
+        u = self.source
+        for hop in self.hops:
+            if hop.src != u:
+                raise AssertionError(f"hop chain broken at {hop} (expected src {u})")
+            u = hop.dst
+        if u != self.dest:
+            raise AssertionError(f"route ends at {u}, not dest {self.dest}")
+
+
+class ChannelPolicy:
+    """Maps local moves to hop kinds (i.e. to physical/virtual channels).
+
+    The basic algorithm uses the ring's pred/succ links in every phase.
+    The deadlock-free DSN-E/DSN-V disciplines (Section V-A) override
+    this so that PRE-WORK rides *Up* channels and FINISH rides *Extra*
+    channels inside the dateline region -- see
+    :mod:`repro.core.extensions`.
+    """
+
+    def prework_kind(self, u: int, t: int) -> HopKind:
+        """Kind of a PRE-WORK pred-move out of ``u`` toward dest ``t``."""
+        return HopKind.PRED
+
+    def finish_pred_kind(self, u: int, t: int) -> HopKind:
+        """Kind of a FINISH pred-move out of ``u`` toward dest ``t``."""
+        return HopKind.PRED
+
+    def finish_succ_kind(self, u: int, t: int) -> HopKind:
+        """Kind of a FINISH succ-move out of ``u`` toward dest ``t``."""
+        return HopKind.SUCC
+
+
+#: The basic DSN-Routing channel usage (pred/succ everywhere).
+BASIC_POLICY = ChannelPolicy()
+
+
+def dsn_route(
+    topo: DSNTopology,
+    s: int,
+    t: int,
+    avoid_overshoot: bool = False,
+    policy: ChannelPolicy = BASIC_POLICY,
+) -> RouteResult:
+    """Route from ``s`` to ``t`` with the DSN-Routing algorithm (Fig. 2).
+
+    Parameters
+    ----------
+    avoid_overshoot:
+        Apply the Section V-D twist: replace an overshooting shortcut by
+        one succ step plus the next node's shorter shortcut. Shortens
+        FINISH at the cost of a (possibly) longer MAIN-PROCESS.
+    """
+    n = topo.n
+    if not (0 <= s < n and 0 <= t < n):
+        raise ValueError(f"s and t must be node ids in [0, {n}), got {s}, {t}")
+    result = RouteResult(source=s, dest=t)
+    if s == t:
+        return result
+
+    hard_limit = 4 * n  # infinite-loop guard only; real bound is 3p + r
+    u = s
+    d = clockwise_distance(u, t, n)
+    l = topo.required_level(d)
+
+    def move(w: int, kind: HopKind, phase: Phase) -> None:
+        nonlocal u, d
+        result.hops.append(RouteHop(u, w, kind, phase))
+        u = w
+        d = clockwise_distance(u, t, n)
+        if len(result.hops) > hard_limit:
+            raise RuntimeError(f"routing exceeded {hard_limit} hops from {s} to {t}")
+
+    # -------------------------- PRE-WORK -----------------------------
+    # Go uphill (pred links, level decreasing) until level(u) <= l.
+    # Each pred step increases d, which can only lower the required
+    # level, so the loop recomputes l exactly as the pseudo-code does.
+    while topo.level(u) > l:
+        move(topo.pred(u), policy.prework_kind(u, t), Phase.PREWORK)
+        if u == t:  # t sat immediately counterclockwise of s
+            return result
+        l = topo.required_level(d)
+
+    # ------------------------ MAIN-PROCESS ---------------------------
+    # Invariant (Fact 2 proof): d <= n / 2**(level(u) - 1) throughout,
+    # so level(u) <= l at every loop entry.
+    overshot = False
+    while True:
+        if u == t:
+            return result
+        if d <= topo.p:  # LOOP-STOP: close enough, shortcut would overshoot
+            break
+        if topo.level(u) == topo.x + 1:  # LOOP-STOP: no shortcut at this level
+            break
+        if topo.level(u) == l:
+            w = topo.shortcut_from(u)
+            if w is None:
+                # Level l > x: the distance-halving chain is exhausted
+                # (only possible for x <= p - log p configurations).
+                break
+            jump = clockwise_distance(u, w, n)
+            if jump > d:
+                # The selected shortcut overshoots t.
+                if avoid_overshoot:
+                    # Section V-D: one succ step, then the next node's
+                    # twice-shorter shortcut (checked on next iteration
+                    # via the same level == required-level test after
+                    # recomputing l; if it still overshoots we step
+                    # again, monotonically shrinking d).
+                    move(topo.succ(u), HopKind.SUCC, Phase.MAIN)
+                    w2 = topo.shortcut_from(u)
+                    if w2 is not None and clockwise_distance(u, w2, n) <= d:
+                        move(w2, HopKind.SHORTCUT, Phase.MAIN)
+                    l = topo.required_level(d) if d > 0 else l
+                    if d == 0:
+                        return result
+                    continue
+                move(w, HopKind.SHORTCUT, Phase.MAIN)
+                overshot = True
+                break  # LOOP-STOP: overshooting t
+            move(w, HopKind.SHORTCUT, Phase.MAIN)
+        else:
+            move(topo.succ(u), HopKind.SUCC, Phase.MAIN)
+        if d == 0:
+            return result
+        l = topo.required_level(d)
+
+    # --------------------------- FINISH ------------------------------
+    # Local walk: pred over the overshoot, succ otherwise.
+    while u != t:
+        cw = clockwise_distance(u, t, n)
+        ccw = clockwise_distance(t, u, n)
+        if overshot or ccw < cw:
+            move(topo.pred(u), policy.finish_pred_kind(u, t), Phase.FINISH)
+        else:
+            move(topo.succ(u), policy.finish_succ_kind(u, t), Phase.FINISH)
+    return result
+
+
+def route_all_pairs(
+    topo: DSNTopology,
+    avoid_overshoot: bool = False,
+    pairs: list[tuple[int, int]] | None = None,
+):
+    """Yield :class:`RouteResult` for every ordered pair (or ``pairs``)."""
+    if pairs is None:
+        pairs = [(s, t) for s in range(topo.n) for t in range(topo.n) if s != t]
+    for s, t in pairs:
+        yield dsn_route(topo, s, t, avoid_overshoot=avoid_overshoot)

@@ -1,0 +1,95 @@
+"""The super-node view of a DSN (paper Fig. 1(c)).
+
+"Imagine each group of p adjacent nodes to be collapsed into one big
+super node. You then obtain exactly a DLN-x topology of these super
+nodes" -- this module performs that collapse and *checks* the claim:
+
+* :func:`super_graph` -- the quotient topology over super nodes;
+* :func:`super_shortcut_spans` -- per-level shortcut spans measured in
+  super-node units (the DLN-x spans are ``~m/2^l`` for ``m = n/p``
+  super nodes);
+* :func:`verify_dln_collapse` -- asserts the structural claim for
+  aligned sizes (r = 0): every super node has ring links to both
+  neighbors and one shortcut of every level, each landing
+  ``~m/2^l`` super nodes away.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.dsn import DSNTopology
+from repro.topologies.base import Link, LinkClass, Topology
+from repro.util import ceil_div
+
+__all__ = ["super_graph", "super_shortcut_spans", "verify_dln_collapse"]
+
+
+def super_graph(dsn: DSNTopology) -> Topology:
+    """Collapse each super node to a vertex; keep distinct quotient links.
+
+    Ring links between adjacent super nodes become LOCAL links;
+    shortcuts become SHORTCUT links between their endpoint super nodes
+    (duplicates collapse, as in any quotient graph).
+    """
+    m = dsn.num_super_nodes
+    links: list[Link] = []
+    for link in dsn.links:
+        su, sv = dsn.super_node(link.u), dsn.super_node(link.v)
+        if su == sv:
+            continue
+        links.append(Link(su, sv, link.cls))
+    return Topology(m, links, name=f"super({dsn.name})")
+
+
+def super_shortcut_spans(dsn: DSNTopology) -> dict[int, list[int]]:
+    """Per level: clockwise spans of its shortcuts in super-node units."""
+    m = dsn.num_super_nodes
+    spans: dict[int, list[int]] = defaultdict(list)
+    for v in range(dsn.n):
+        w = dsn.shortcut_from(v)
+        if w is None:
+            continue
+        su, sw = dsn.super_node(v), dsn.super_node(w)
+        spans[dsn.level(v)].append((sw - su) % m)
+    return dict(spans)
+
+
+def verify_dln_collapse(dsn: DSNTopology) -> None:
+    """Assert the Fig. 1(c) claim; raises ``AssertionError`` on failure.
+
+    Requires ``r = 0`` (with an incomplete tail super node the quotient
+    is only approximately a DLN, as the paper itself notes).
+    """
+    if dsn.r != 0:
+        raise ValueError("the exact DLN collapse requires n to be a multiple of p")
+    m = dsn.num_super_nodes
+    g = super_graph(dsn)
+
+    # Ring of super nodes intact.
+    for k in range(m):
+        if not g.has_link(k, (k + 1) % m):
+            raise AssertionError(f"super nodes {k} and {(k + 1) % m} not ring-linked")
+
+    # One shortcut of every level per super node, spanning ~m/2^l.
+    per_super: dict[int, set[int]] = defaultdict(set)
+    for v in range(dsn.n):
+        if dsn.shortcut_from(v) is not None:
+            per_super[dsn.super_node(v)].add(dsn.level(v))
+    for k in range(m):
+        expect = set(range(1, dsn.x + 1))
+        if per_super[k] != expect:
+            raise AssertionError(
+                f"super node {k} owns levels {sorted(per_super[k])}, expected {sorted(expect)}"
+            )
+
+    for level, spans in super_shortcut_spans(dsn).items():
+        target = ceil_div(dsn.n, 2**level) / dsn.p  # = m/2^level for r=0
+        for s in spans:
+            # The landing super node is the one holding the level+1 node
+            # at or just past the span: within one super node of target.
+            if not (target - 1 <= s <= target + 1 + dsn.r / max(dsn.p, 1)):
+                raise AssertionError(
+                    f"level-{level} super-shortcut spans {s} super nodes, "
+                    f"expected ~{target:.1f}"
+                )

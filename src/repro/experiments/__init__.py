@@ -1,0 +1,85 @@
+"""Experiment drivers: one per paper figure/table (see DESIGN.md index)."""
+
+from repro.experiments.balance import BalanceComparison, compare_balance, format_balance
+from repro.experiments.claims import Claim, ClaimResult, all_claims, check_claims, format_claims
+from repro.experiments.cable import CableSweepRow, dsn6_vs_torus3d, fig9_cable, format_cable_sweep
+from repro.experiments.graphs import (
+    HopSweepRow,
+    fig7_diameter,
+    fig8_aspl,
+    format_hop_sweep,
+    hop_distribution_table,
+    hop_sweep,
+)
+from repro.experiments.latency import (
+    DEFAULT_LOADS,
+    LatencyCurve,
+    fig10,
+    format_curves,
+    run_curve,
+)
+from repro.experiments.related import (
+    GreedyComparison,
+    diameter_degree_table,
+    dln_family_table,
+    greedy_vs_dsn_routing,
+)
+from repro.experiments.placement import placement_table
+from repro.experiments.robustness import bisection_table, fault_table, rerouting_table
+from repro.experiments.sweeps import PAPER_SIZES, PAPER_TRIO, make_topology, paper_trio
+from repro.experiments.variance import RandomEnsembleStats, format_ensemble, random_ensemble
+from repro.experiments.theory import (
+    CableCheck,
+    DegreeCheck,
+    RoutingCheck,
+    check_degrees,
+    check_line_cable,
+    check_routing,
+)
+
+__all__ = [
+    "PAPER_SIZES",
+    "PAPER_TRIO",
+    "make_topology",
+    "paper_trio",
+    "HopSweepRow",
+    "fig7_diameter",
+    "fig8_aspl",
+    "hop_sweep",
+    "format_hop_sweep",
+    "hop_distribution_table",
+    "CableSweepRow",
+    "fig9_cable",
+    "format_cable_sweep",
+    "dsn6_vs_torus3d",
+    "LatencyCurve",
+    "fig10",
+    "run_curve",
+    "format_curves",
+    "DEFAULT_LOADS",
+    "DegreeCheck",
+    "RoutingCheck",
+    "CableCheck",
+    "check_degrees",
+    "check_routing",
+    "check_line_cable",
+    "BalanceComparison",
+    "compare_balance",
+    "format_balance",
+    "GreedyComparison",
+    "diameter_degree_table",
+    "dln_family_table",
+    "greedy_vs_dsn_routing",
+    "bisection_table",
+    "fault_table",
+    "rerouting_table",
+    "placement_table",
+    "Claim",
+    "ClaimResult",
+    "all_claims",
+    "check_claims",
+    "format_claims",
+    "RandomEnsembleStats",
+    "format_ensemble",
+    "random_ensemble",
+]

@@ -1,0 +1,66 @@
+"""Experiment E13: traffic balance of DSN custom routing vs up*/down*.
+
+Section VII-B reports (without a figure) that the DSN custom routing
+"makes traffic significantly more balanced than using up*/down*
+routing". We quantify it: route all ordered pairs under (a) the DSN
+custom routing (extended, deadlock-free form) and (b) up*/down*, then
+compare the channel-load distributions (max/mean hot-spot factor and
+Gini coefficient). A minimal-routing reference shows the attainable
+floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import LoadStats, channel_loads, load_stats
+from repro.core import DSNVTopology, dsn_route_extended
+from repro.routing import ShortestPathTable, UpDownRouting
+from repro.util import format_table
+
+__all__ = ["BalanceComparison", "compare_balance", "format_balance"]
+
+
+@dataclass(frozen=True)
+class BalanceComparison:
+    """Channel-load statistics per routing function on one DSN."""
+
+    n: int
+    custom: LoadStats
+    updown: LoadStats
+    minimal: LoadStats
+
+    @property
+    def custom_beats_updown(self) -> bool:
+        """The paper's claim: custom routing is the more balanced."""
+        return self.custom.max_over_mean < self.updown.max_over_mean
+
+
+def compare_balance(n: int = 64, seed: int = 0) -> BalanceComparison:
+    """Route all pairs three ways on DSN-(p-1)-n and compare loads."""
+    topo = DSNVTopology(n)
+
+    custom_loads = channel_loads(topo, lambda s, t: dsn_route_extended(topo, s, t).path)
+
+    ud = UpDownRouting(topo)
+    ud_loads = channel_loads(topo, ud.path)
+
+    table = ShortestPathTable(topo)
+    min_loads = channel_loads(topo, lambda s, t: table.path(s, t, seed=seed))
+
+    return BalanceComparison(
+        n=n,
+        custom=load_stats(custom_loads),
+        updown=load_stats(ud_loads),
+        minimal=load_stats(min_loads),
+    )
+
+
+def format_balance(cmp: BalanceComparison) -> str:
+    headers = ["routing", "mean", "max", "min", "std", "gini", "max/mean"]
+    rows = [
+        ["dsn_custom", *cmp.custom.row()],
+        ["up*/down*", *cmp.updown.row()],
+        ["minimal", *cmp.minimal.row()],
+    ]
+    return format_table(headers, rows, title=f"Channel-load balance, DSN n={cmp.n} (E13)")

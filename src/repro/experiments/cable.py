@@ -1,0 +1,70 @@
+"""Experiment driver for Fig. 9: average cable length vs network size.
+
+Also covers the Section VI-B side remark (experiment E12): a degree-6
+DSN against the 3-D torus under the same floorplan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sweeps import PAPER_SIZES, PAPER_TRIO, make_topology
+from repro.layout import FloorplanConfig, average_cable_length, cable_report
+from repro.util import format_table
+
+__all__ = ["CableSweepRow", "fig9_cable", "format_cable_sweep", "dsn6_vs_torus3d"]
+
+
+@dataclass(frozen=True)
+class CableSweepRow:
+    n: int
+    log2_n: int
+    values: dict[str, float]  #: kind -> average cable length (m)
+
+    def row(self) -> list:
+        return [self.log2_n, self.n] + [round(self.values[k], 3) for k in sorted(self.values)]
+
+
+def fig9_cable(
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    kinds: tuple[str, ...] = PAPER_TRIO,
+    seed: int = 0,
+    config: FloorplanConfig | None = None,
+) -> list[CableSweepRow]:
+    """Figure 9: average cable length (m) of each topology vs size."""
+    rows = []
+    for n in sizes:
+        values = {
+            kind: average_cable_length(make_topology(kind, n, seed=seed), config=config)
+            for kind in kinds
+        }
+        rows.append(CableSweepRow(n=n, log2_n=n.bit_length() - 1, values=values))
+    return rows
+
+
+def format_cable_sweep(rows: list[CableSweepRow], title: str) -> str:
+    kinds = sorted(rows[0].values)
+    return format_table(["log2N", "N", *kinds], [r.row() for r in rows], title=title)
+
+
+def dsn6_vs_torus3d(n: int = 512, config: FloorplanConfig | None = None):
+    """Section VI-B remark: degree-6 DSN vs 3-D torus cable length.
+
+    A degree-6 DSN is modeled as the basic DSN plus a second ring of
+    chordal links (doubling local connectivity to 4 ring neighbors) --
+    the paper does not define its degree-6 variant, so we use the
+    closest same-degree construction and report both cable averages.
+    """
+    from repro.core import DSNTopology
+    from repro.topologies.base import Link, LinkClass, Topology
+
+    base = DSNTopology(n)
+    links = list(base.links) + [
+        Link(i, (i + 2) % n, LinkClass.LOCAL) for i in range(n)
+    ]
+    dsn6 = Topology(n, links, name=f"DSN6-{n}")
+    torus3 = make_topology("torus3d", n)
+    return (
+        cable_report(dsn6, config=config),
+        cable_report(torus3, config=config),
+    )

@@ -1,0 +1,155 @@
+"""Experiment driver for Fig. 10: latency vs accepted traffic.
+
+Reproduces the paper's Section VII simulation: 64 switches x 4 hosts,
+virtual cut-through, 4 VCs, topology-agnostic minimal-adaptive routing
+with an up*/down* escape, under uniform / bit-reversal / neighboring
+traffic. One latency-throughput curve per topology per pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.sweeps import PAPER_TRIO, make_topology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig, SimResult, dsn_custom_adapter
+from repro.traffic import make_pattern
+from repro.util import format_table
+
+__all__ = ["LatencyCurve", "run_curve", "fig10", "format_curves", "DEFAULT_LOADS"]
+
+#: Offered loads (Gbit/s/host) swept by default; the paper's x-axis
+#: spans 0..12 Gbit/s/host.
+DEFAULT_LOADS = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
+
+
+@dataclass
+class LatencyCurve:
+    """One latency-vs-accepted-traffic curve (a line in Fig. 10)."""
+
+    topology: str
+    pattern: str
+    points: list[SimResult] = field(default_factory=list)
+
+    def accepted(self) -> list[float]:
+        return [p.accepted_gbps for p in self.points]
+
+    def latency(self) -> list[float]:
+        return [p.avg_latency_ns for p in self.points]
+
+    def low_load_latency(self) -> float:
+        """Latency of the lowest-load point (the Fig. 10 left edge)."""
+        return self.points[0].avg_latency_ns
+
+    def saturation_gbps(self) -> float:
+        """Largest accepted traffic before saturation (paper's throughput)."""
+        ok = [p.accepted_gbps for p in self.points if not p.saturated]
+        return max(ok) if ok else max(p.accepted_gbps for p in self.points)
+
+
+def run_curve(
+    kind: str,
+    pattern_name: str,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    n: int = 64,
+    config: SimConfig | None = None,
+    seed: int = 0,
+    custom_routing: bool = False,
+    routing: str = "adaptive",
+) -> LatencyCurve:
+    """Simulate one topology kind under one pattern across loads.
+
+    ``routing`` selects the scheme:
+
+    * ``"adaptive"`` -- minimal-adaptive + up*/down* escape (the paper's
+      Section VII configuration, default);
+    * ``"updown"`` -- pure up*/down* on all VCs;
+    * ``"dor"`` -- dimension-order routing with VC datelines (torus/mesh
+      native routing, ablation);
+    * ``"custom"`` -- deadlock-free DSN custom routing, source-routed on
+      DSN-V virtual channels (Section VII-B);
+    * ``"minimal_custom"`` -- minimal-adaptive with the DSN custom
+      routing as escape (the paper's Section VIII future work).
+
+    ``custom_routing=True`` is a backward-compatible alias for
+    ``routing="custom"``.
+    """
+    cfg = config or SimConfig()
+    if custom_routing:
+        routing = "custom"
+    topo = make_topology(kind, n, seed=seed)
+    curve = LatencyCurve(topology=topo.name, pattern=pattern_name)
+
+    if routing in ("custom", "minimal_custom"):
+        from repro.core import DSNVTopology
+
+        if not hasattr(topo, "policy"):
+            topo = DSNVTopology(n)
+
+    if routing == "custom":
+        from repro.core import dsn_route_extended
+        route_cache: dict[tuple[int, int], list] = {}
+
+        def route_fn(s: int, t: int):
+            key = (s, t)
+            if key not in route_cache:
+                route_cache[key] = dsn_route_extended(topo, s, t)
+            return route_cache[key]
+
+        make_adapter = lambda rng: dsn_custom_adapter(route_fn)
+    elif routing == "minimal_custom":
+        from repro.sim import MinimalCustomEscapeAdapter
+
+        make_adapter = lambda rng: MinimalCustomEscapeAdapter(topo, cfg.num_vcs, rng)
+    elif routing == "dor":
+        from repro.sim import DORAdapter
+
+        make_adapter = lambda rng: DORAdapter(topo, cfg.num_vcs)
+    elif routing == "updown":
+        duato = DuatoAdaptiveRouting(topo)
+        make_adapter = lambda rng: AdaptiveEscapeAdapter(
+            duato, cfg.num_vcs, rng, escape_only=True
+        )
+    elif routing == "adaptive":
+        duato = DuatoAdaptiveRouting(topo)
+        make_adapter = lambda rng: AdaptiveEscapeAdapter(duato, cfg.num_vcs, rng)
+    else:
+        raise ValueError(f"unknown routing scheme {routing!r}")
+
+    num_hosts = n * cfg.hosts_per_switch
+    # Synthetic permutations act on switch addresses (see
+    # repro.traffic.patterns._PermutationTraffic): each host sends to its
+    # same-offset counterpart at the permuted switch.
+    pattern_kwargs = (
+        {"group_size": cfg.hosts_per_switch}
+        if pattern_name in ("bit_reversal", "bit_complement", "transpose")
+        else {}
+    )
+    for load in loads:
+        rng = np.random.default_rng((seed, int(load * 1000)))
+        pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
+        sim = NetworkSimulator(topo, make_adapter(rng), pattern, load, cfg)
+        curve.points.append(sim.run())
+    return curve
+
+
+def fig10(
+    pattern_name: str,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    n: int = 64,
+    config: SimConfig | None = None,
+    seed: int = 0,
+    kinds: tuple[str, ...] = PAPER_TRIO,
+) -> list[LatencyCurve]:
+    """One Fig. 10 subplot: curves for torus, RANDOM and DSN."""
+    return [run_curve(k, pattern_name, loads, n=n, config=config, seed=seed) for k in kinds]
+
+
+def format_curves(curves: list[LatencyCurve], title: str) -> str:
+    rows = []
+    for c in curves:
+        for p in c.points:
+            rows.append(p.row())
+    return format_table(SimResult.headers(), rows, title=title)

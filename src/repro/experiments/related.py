@@ -1,0 +1,129 @@
+"""Related-work experiments (Sections II-III context).
+
+* ``diameter_degree_table`` -- the Section III "diameter-and-degree"
+  comparison (De Bruijn "12-and-4", Kautz, CCC "23-and-3", ...), run
+  over our implementations at comparable sizes with DSN rows alongside.
+* ``greedy_vs_dsn_routing`` -- the Section IV-A argument: Kleinberg
+  greedy routing finds Theta(log^2 n) paths while DSN custom routing
+  stays O(log n); measured head-to-head over matched network sizes.
+* ``dln_family_table`` -- the DLN-x trade-off review of Section IV-A:
+  diameter vs degree as x grows toward log n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import analyze
+from repro.core import DSNTopology, dsn_route
+from repro.topologies import (
+    CubeConnectedCyclesTopology,
+    DeBruijnTopology,
+    DLNTopology,
+    HypercubeTopology,
+    HypernetTopology,
+    KautzTopology,
+    KleinbergTopology,
+    greedy_route,
+)
+from repro.util import format_table, make_rng
+
+__all__ = [
+    "diameter_degree_table",
+    "dln_family_table",
+    "GreedyComparison",
+    "greedy_vs_dsn_routing",
+]
+
+
+def diameter_degree_table() -> str:
+    """Section III style diameter-and-degree rows for classic graphs."""
+    topologies = [
+        DeBruijnTopology(2, 10),  # 1024 nodes
+        KautzTopology(2, 8),  # 768 nodes
+        CubeConnectedCyclesTopology(7),  # 896 nodes, degree 3
+        HypercubeTopology(10),  # 1024 nodes, degree 10
+        HypernetTopology(6, 16),  # 1024 nodes, hierarchical
+        DSNTopology(1024),
+        DLNTopology(1024, 10),  # DLN-log n
+    ]
+    rows = []
+    for t in topologies:
+        m = analyze(t)
+        rows.append([m.name, m.n, m.diameter, m.max_degree, round(m.aspl, 2)])
+    return format_table(
+        ["topology", "n", "diameter", "max_degree", "aspl"],
+        rows,
+        title="Related work: diameter-and-degree (Section III)",
+    )
+
+
+def dln_family_table(n: int = 1024) -> str:
+    """DLN-x for growing x: diameter falls, degree rises (Section IV-A)."""
+    rows = []
+    p = n.bit_length() - 1
+    for x in (2, 4, 6, 8, p):
+        t = DLNTopology(n, x)
+        m = analyze(t)
+        rows.append([t.name, x, m.diameter, round(m.aspl, 2), m.max_degree])
+    dsn = analyze(DSNTopology(n))
+    rows.append([dsn.name, "-", dsn.diameter, round(dsn.aspl, 2), dsn.max_degree])
+    return format_table(
+        ["topology", "x", "diameter", "aspl", "max_degree"],
+        rows,
+        title=f"DLN-x trade-off at n={n}: DSN gets DLN-log-n hops at degree <= 5",
+    )
+
+
+@dataclass(frozen=True)
+class GreedyComparison:
+    """Kleinberg greedy vs DSN custom routing at one size."""
+
+    n: int
+    kleinberg_mean: float
+    kleinberg_max: int
+    dsn_mean: float
+    dsn_max: int
+    log_n: float
+
+    def row(self) -> list:
+        return [
+            self.n,
+            round(self.kleinberg_mean, 2),
+            self.kleinberg_max,
+            round(self.dsn_mean, 2),
+            self.dsn_max,
+            round(self.log_n, 1),
+        ]
+
+
+def greedy_vs_dsn_routing(
+    side: int,
+    samples: int = 300,
+    seed: int | np.random.Generator | None = 0,
+) -> GreedyComparison:
+    """Compare routed path lengths on a ``side x side`` Kleinberg grid
+    vs a same-size DSN (Section IV-A: Theta(log^2 n) vs O(log n))."""
+    rng = make_rng(seed)
+    n = side * side
+    kg = KleinbergTopology(side, q=1, seed=int(rng.integers(2**31)))
+    dsn = DSNTopology(n)
+
+    k_lengths, d_lengths = [], []
+    for _ in range(samples):
+        s, t = (int(v) for v in rng.integers(0, n, size=2))
+        if s == t:
+            continue
+        k_lengths.append(len(greedy_route(kg, s, t)) - 1)
+        d_lengths.append(dsn_route(dsn, s, t).length)
+
+    return GreedyComparison(
+        n=n,
+        kleinberg_mean=float(np.mean(k_lengths)),
+        kleinberg_max=int(np.max(k_lengths)),
+        dsn_mean=float(np.mean(d_lengths)),
+        dsn_max=int(np.max(d_lengths)),
+        log_n=float(np.log2(n)),
+    )

@@ -1,0 +1,246 @@
+"""Experiment drivers validating Section IV-C (experiments E7-E10).
+
+Each function measures a quantity the paper bounds analytically and
+returns (measured, bound) pairs so the benchmark harness can print
+Fact/Theorem validation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import average_shortest_path_length, diameter, shortest_path_matrix
+from repro.core import DSNTopology, dsn_route, dsn_theory
+from repro.core.routing import Phase
+from repro.core.theory import dln22_average_shortcut_length
+from repro.layout import linear_cable_stats
+from repro.topologies import DLNRandomTopology
+from repro.util import make_rng
+
+__all__ = [
+    "DegreeCheck",
+    "check_degrees",
+    "RoutingCheck",
+    "check_routing",
+    "CableCheck",
+    "check_line_cable",
+]
+
+
+@dataclass(frozen=True)
+class DegreeCheck:
+    """Fact 1 / Theorem 1(a) measured-vs-bound for one DSN instance."""
+
+    n: int
+    x: int
+    min_degree: int
+    max_degree: int
+    average_degree: float
+    degree5_nodes: int
+    bound_min: int
+    bound_max: int
+    bound_average: float
+    bound_degree5: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.min_degree >= self.bound_min
+            and self.max_degree <= self.bound_max
+            and self.average_degree <= self.bound_average + 1e-9
+            and self.degree5_nodes <= self.bound_degree5
+        )
+
+    def row(self) -> list:
+        return [
+            self.n,
+            self.x,
+            self.min_degree,
+            self.max_degree,
+            round(self.average_degree, 3),
+            self.degree5_nodes,
+            self.bound_degree5,
+            "OK" if self.ok else "VIOLATION",
+        ]
+
+
+def check_degrees(n: int, x: int | None = None) -> DegreeCheck:
+    """Measure the Fact 1 degree properties of DSN-x-n."""
+    topo = DSNTopology(n, x=x)
+    th = dsn_theory(n, topo.x)
+    census = topo.degree_census()
+    return DegreeCheck(
+        n=n,
+        x=topo.x,
+        min_degree=topo.min_degree,
+        max_degree=topo.max_degree,
+        average_degree=topo.average_degree,
+        degree5_nodes=census.get(5, 0),
+        bound_min=th.min_degree_bound,
+        bound_max=th.max_degree_bound,
+        bound_average=th.average_degree_bound,
+        bound_degree5=th.max_degree5_nodes,
+    )
+
+
+@dataclass(frozen=True)
+class RoutingCheck:
+    """Facts 2-3 / Theorem 2(a) measured-vs-bound for one DSN instance."""
+
+    n: int
+    x: int
+    routing_diameter: int
+    routing_diameter_bound: int
+    graph_diameter: int
+    graph_diameter_bound: float
+    mean_routing_length: float
+    mean_routing_bound: float
+    mean_shortest_length: float
+    mean_shortest_bound: float
+    max_overshoot: int
+    overshoot_bound: int
+    pairs_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.routing_diameter <= self.routing_diameter_bound
+            and self.graph_diameter <= self.graph_diameter_bound
+            and self.mean_routing_length <= self.mean_routing_bound
+            and self.mean_shortest_length <= self.mean_shortest_bound
+            and self.max_overshoot <= self.overshoot_bound
+        )
+
+    def row(self) -> list:
+        return [
+            self.n,
+            self.x,
+            self.routing_diameter,
+            self.routing_diameter_bound,
+            self.graph_diameter,
+            self.graph_diameter_bound,
+            round(self.mean_routing_length, 2),
+            self.mean_routing_bound,
+            round(self.mean_shortest_length, 2),
+            self.mean_shortest_bound,
+            "OK" if self.ok else "VIOLATION",
+        ]
+
+
+def check_routing(
+    n: int,
+    x: int | None = None,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+    avoid_overshoot: bool = False,
+) -> RoutingCheck:
+    """Measure routing diameter, expected lengths, and overshoot.
+
+    Exhaustive over all ordered pairs by default; pass ``sample_pairs``
+    for large n. The overshoot of a route is its FINISH-phase pred-walk
+    length (the distance MAIN overshot past t).
+    """
+    topo = DSNTopology(n, x=x)
+    th = dsn_theory(n, topo.x)
+    dist = shortest_path_matrix(topo)
+
+    if sample_pairs is None:
+        pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    else:
+        rng = make_rng(seed)
+        pairs = []
+        while len(pairs) < sample_pairs:
+            s, t = (int(v) for v in rng.integers(0, n, size=2))
+            if s != t:
+                pairs.append((s, t))
+
+    worst = 0
+    total = 0
+    max_overshoot = 0
+    for s, t in pairs:
+        r = dsn_route(topo, s, t, avoid_overshoot=avoid_overshoot)
+        worst = max(worst, r.length)
+        total += r.length
+        finish_preds = sum(
+            1 for h in r.hops if h.phase is Phase.FINISH and (h.src - h.dst) % n == 1
+        )
+        max_overshoot = max(max_overshoot, finish_preds)
+
+    mask = ~np.eye(n, dtype=bool)
+    return RoutingCheck(
+        n=n,
+        x=topo.x,
+        routing_diameter=worst,
+        routing_diameter_bound=th.routing_diameter_bound,
+        graph_diameter=diameter(topo, dist),
+        graph_diameter_bound=th.diameter_bound,
+        mean_routing_length=total / len(pairs),
+        mean_routing_bound=th.expected_routing_length_bound,
+        mean_shortest_length=average_shortest_path_length(topo, dist),
+        mean_shortest_bound=th.expected_shortest_length_bound,
+        max_overshoot=max_overshoot,
+        overshoot_bound=th.overshoot_bound,
+        pairs_checked=len(pairs),
+    )
+
+
+@dataclass(frozen=True)
+class CableCheck:
+    """Theorem 2(b) line-layout cable measured-vs-bound."""
+
+    n: int
+    p: int
+    dsn_total: float
+    dsn_total_bound: float
+    dsn_avg_shortcut: float
+    dsn_avg_shortcut_bound: float
+    dln22_avg_shortcut: float
+    dln22_avg_shortcut_expected: float
+    savings_factor: float  #: DLN-2-2 total shortcut cable / DSN's
+    savings_factor_expected: float  #: ~ p/3
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.dsn_total <= self.dsn_total_bound
+            and self.dsn_avg_shortcut <= self.dsn_avg_shortcut_bound
+        )
+
+    def row(self) -> list:
+        return [
+            self.n,
+            self.p,
+            round(self.dsn_avg_shortcut, 1),
+            round(self.dsn_avg_shortcut_bound, 1),
+            round(self.dln22_avg_shortcut, 1),
+            round(self.dln22_avg_shortcut_expected, 1),
+            round(self.savings_factor, 2),
+            round(self.savings_factor_expected, 2),
+            "OK" if self.ok else "VIOLATION",
+        ]
+
+
+def check_line_cable(n: int, seed: int = 0) -> CableCheck:
+    """Measure Theorem 2(b)'s line-layout cable quantities."""
+    th = dsn_theory(n)
+    dsn_stats = linear_cable_stats(DSNTopology(n))
+    dln_stats = linear_cable_stats(DLNRandomTopology(n, 2, 2, seed=seed))
+
+    dsn_shortcut_total = dsn_stats.average_shortcut * dsn_stats.num_shortcuts
+    dln_shortcut_total = dln_stats.average_shortcut * dln_stats.num_shortcuts
+    savings = dln_shortcut_total / dsn_shortcut_total if dsn_shortcut_total else float("nan")
+
+    return CableCheck(
+        n=n,
+        p=th.p,
+        dsn_total=dsn_stats.total,
+        dsn_total_bound=th.total_cable_bound_exact,
+        dsn_avg_shortcut=dsn_stats.average_shortcut,
+        dsn_avg_shortcut_bound=th.average_shortcut_length_bound_exact,
+        dln22_avg_shortcut=dln_stats.average_shortcut,
+        dln22_avg_shortcut_expected=dln22_average_shortcut_length(n),
+        savings_factor=savings,
+        savings_factor_expected=th.dln22_cable_ratio,
+    )

@@ -1,0 +1,90 @@
+"""Seed-variance analysis of the RANDOM baseline (experiment E31).
+
+Figs. 7-9 compare the deterministic DSN/torus against *one sample* of
+the random DLN-2-2 ensemble. This experiment quantifies how much that
+sample matters: mean +/- std of diameter, ASPL and cable length over
+several seeds, and whether any seed changes a Fig. 7/8/9 ordering.
+DSN's values are printed alongside as the fixed reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import analyze
+from repro.experiments.sweeps import make_topology
+from repro.layout import average_cable_length
+from repro.util import format_table
+
+__all__ = ["RandomEnsembleStats", "random_ensemble", "format_ensemble"]
+
+
+@dataclass(frozen=True)
+class RandomEnsembleStats:
+    """RANDOM-baseline statistics over seeds at one network size."""
+
+    n: int
+    seeds: int
+    diameter_mean: float
+    diameter_std: float
+    aspl_mean: float
+    aspl_std: float
+    cable_mean: float
+    cable_std: float
+    dsn_diameter: int
+    dsn_aspl: float
+    dsn_cable: float
+
+    @property
+    def orderings_stable(self) -> bool:
+        """DSN-vs-RANDOM orderings hold at +/- 3 std."""
+        aspl_ok = self.aspl_mean + 3 * self.aspl_std <= self.dsn_aspl + 1.0
+        cable_ok = self.cable_mean - 3 * self.cable_std >= self.dsn_cable * 0.9
+        return aspl_ok and cable_ok
+
+    def row(self) -> list:
+        return [
+            self.n,
+            f"{self.diameter_mean:.1f}±{self.diameter_std:.2f}",
+            f"{self.aspl_mean:.3f}±{self.aspl_std:.3f}",
+            f"{self.cable_mean:.2f}±{self.cable_std:.2f}",
+            self.dsn_diameter,
+            round(self.dsn_aspl, 3),
+            round(self.dsn_cable, 2),
+        ]
+
+
+def random_ensemble(n: int, seeds: int = 5) -> RandomEnsembleStats:
+    """Measure the DLN-2-2 ensemble spread at one size."""
+    diams, aspls, cables = [], [], []
+    for seed in range(seeds):
+        topo = make_topology("random", n, seed=seed)
+        m = analyze(topo)
+        diams.append(m.diameter)
+        aspls.append(m.aspl)
+        cables.append(average_cable_length(topo))
+    dsn = make_topology("dsn", n)
+    dm = analyze(dsn)
+    return RandomEnsembleStats(
+        n=n,
+        seeds=seeds,
+        diameter_mean=float(np.mean(diams)),
+        diameter_std=float(np.std(diams)),
+        aspl_mean=float(np.mean(aspls)),
+        aspl_std=float(np.std(aspls)),
+        cable_mean=float(np.mean(cables)),
+        cable_std=float(np.std(cables)),
+        dsn_diameter=dm.diameter,
+        dsn_aspl=dm.aspl,
+        dsn_cable=average_cable_length(dsn),
+    )
+
+
+def format_ensemble(stats: list[RandomEnsembleStats]) -> str:
+    return format_table(
+        ["N", "rand diam", "rand aspl", "rand cable", "dsn diam", "dsn aspl", "dsn cable"],
+        [s.row() for s in stats],
+        title=f"RANDOM-baseline seed variance ({stats[0].seeds} seeds)",
+    )

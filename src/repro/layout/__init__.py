@@ -1,0 +1,31 @@
+"""Physical layout: cabinet floorplans and cable-length estimation (Fig. 9)."""
+
+from repro.layout.cable import (
+    CableReport,
+    average_cable_length,
+    cable_lengths,
+    cable_report,
+    total_cable_length,
+)
+from repro.layout.cost import CostModel, InterconnectCost, interconnect_cost
+from repro.layout.floorplan import Floorplan, FloorplanConfig
+from repro.layout.linear import LinearCableStats, linear_cable_stats
+from repro.layout.optimize import PlacementResult, optimize_placement, placement_cable_total
+
+__all__ = [
+    "Floorplan",
+    "FloorplanConfig",
+    "CableReport",
+    "average_cable_length",
+    "cable_lengths",
+    "cable_report",
+    "total_cable_length",
+    "LinearCableStats",
+    "linear_cable_stats",
+    "CostModel",
+    "InterconnectCost",
+    "interconnect_cost",
+    "PlacementResult",
+    "optimize_placement",
+    "placement_cable_total",
+]

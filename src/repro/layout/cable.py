@@ -1,0 +1,99 @@
+"""Per-topology cable-length accounting on a floorplan (Fig. 9).
+
+``average_cable_length(topo)`` is the y-axis of the paper's Fig. 9.
+Parallel cables (the Up/Extra links of DSN-E) are included when the
+topology exposes a ``parallel_links`` attribute, since they are real
+wiring even though they do not change the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.floorplan import Floorplan, FloorplanConfig
+from repro.topologies.base import Link, LinkClass, Topology
+
+__all__ = ["CableReport", "cable_lengths", "average_cable_length", "total_cable_length", "cable_report"]
+
+
+def _all_cables(topo: Topology, include_parallel: bool) -> list[Link]:
+    cables = list(topo.links)
+    if include_parallel:
+        cables.extend(getattr(topo, "parallel_links", ()))
+    return cables
+
+
+def cable_lengths(
+    topo: Topology,
+    floorplan: Floorplan | None = None,
+    config: FloorplanConfig | None = None,
+    include_parallel: bool = True,
+) -> np.ndarray:
+    """Length in meters of every cable of ``topo`` on the floorplan."""
+    fp = floorplan or Floorplan(topo.n, config)
+    cables = _all_cables(topo, include_parallel)
+    return np.array([fp.cable_length(l.u, l.v) for l in cables])
+
+
+def average_cable_length(
+    topo: Topology,
+    floorplan: Floorplan | None = None,
+    config: FloorplanConfig | None = None,
+    include_parallel: bool = True,
+) -> float:
+    """Average cable length in meters (the paper's Fig. 9 metric)."""
+    return float(cable_lengths(topo, floorplan, config, include_parallel).mean())
+
+
+def total_cable_length(
+    topo: Topology,
+    floorplan: Floorplan | None = None,
+    config: FloorplanConfig | None = None,
+    include_parallel: bool = True,
+) -> float:
+    """Aggregate cable length in meters (the Earth-Simulator-kilometers view)."""
+    return float(cable_lengths(topo, floorplan, config, include_parallel).sum())
+
+
+@dataclass(frozen=True)
+class CableReport:
+    """Cable statistics for one topology, overall and per link class."""
+
+    name: str
+    num_cables: int
+    average_m: float
+    total_m: float
+    max_m: float
+    per_class: dict[str, tuple[int, float]]  #: class -> (count, average length)
+
+    def row(self) -> list:
+        return [self.name, self.num_cables, round(self.average_m, 3), round(self.total_m, 1), round(self.max_m, 2)]
+
+
+def cable_report(
+    topo: Topology,
+    floorplan: Floorplan | None = None,
+    config: FloorplanConfig | None = None,
+    include_parallel: bool = True,
+) -> CableReport:
+    """Full cable accounting, broken down by link class."""
+    fp = floorplan or Floorplan(topo.n, config)
+    cables = _all_cables(topo, include_parallel)
+    lengths = np.array([fp.cable_length(l.u, l.v) for l in cables])
+
+    per_class: dict[str, tuple[int, float]] = {}
+    for cls in LinkClass:
+        sel = np.array([l.cls is cls for l in cables], dtype=bool)
+        if sel.any():
+            per_class[cls.value] = (int(sel.sum()), float(lengths[sel].mean()))
+
+    return CableReport(
+        name=topo.name,
+        num_cables=len(cables),
+        average_m=float(lengths.mean()),
+        total_m=float(lengths.sum()),
+        max_m=float(lengths.max()),
+        per_class=per_class,
+    )

@@ -1,0 +1,83 @@
+"""Interconnect cost model (Section VI-B economics).
+
+"The total cost of interconnects (the price of switches and cables plus
+installation cost) increases in proportion to the cable length assuming
+high-bandwidth optical cables over 10Gbps [4], [23]. We thus expect
+that our DSN topology has a good economy." This module makes the claim
+quantitative: a parameterized bill-of-materials cost and a
+cost-performance view (cost x average hops -- the latency-cost product
+an operator actually shops on).
+
+Default prices are representative of the paper's era (optical QDR-class
+parts) and exist to compare topologies, not to quote vendors: what
+matters is that cable cost scales with metres while switch cost is
+topology-independent at equal radix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.cable import total_cable_length
+from repro.layout.floorplan import Floorplan, FloorplanConfig
+from repro.topologies.base import Topology
+
+__all__ = ["CostModel", "InterconnectCost", "interconnect_cost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit prices (arbitrary currency; only ratios matter)."""
+
+    switch_cost: float = 5000.0  #: per switch (radix-fixed comparison)
+    cable_cost_per_m: float = 40.0  #: optical cable, per metre
+    cable_fixed_cost: float = 120.0  #: per cable: transceivers, connectors
+    install_per_cable: float = 30.0  #: labour per pulled cable
+
+
+@dataclass(frozen=True)
+class InterconnectCost:
+    """Cost breakdown for one topology on one floorplan."""
+
+    name: str
+    switches: float
+    cables_material: float
+    cables_fixed: float
+    installation: float
+
+    @property
+    def total(self) -> float:
+        return self.switches + self.cables_material + self.cables_fixed + self.installation
+
+    @property
+    def cable_share(self) -> float:
+        """Fraction of total cost that scales with topology choice."""
+        return (self.cables_material + self.cables_fixed + self.installation) / self.total
+
+    def row(self) -> list:
+        return [
+            self.name,
+            round(self.total, 0),
+            round(self.cables_material, 0),
+            f"{self.cable_share:.1%}",
+        ]
+
+
+def interconnect_cost(
+    topo: Topology,
+    model: CostModel | None = None,
+    floorplan: Floorplan | None = None,
+    config: FloorplanConfig | None = None,
+) -> InterconnectCost:
+    """Bill of materials for deploying ``topo`` on the cabinet floorplan."""
+    model = model or CostModel()
+    fp = floorplan or Floorplan(topo.n, config)
+    metres = total_cable_length(topo, floorplan=fp)
+    num_cables = topo.num_links + len(getattr(topo, "parallel_links", ()))
+    return InterconnectCost(
+        name=topo.name,
+        switches=model.switch_cost * topo.n,
+        cables_material=model.cable_cost_per_m * metres,
+        cables_fixed=model.cable_fixed_cost * num_cables,
+        installation=model.install_per_cable * num_cables,
+    )

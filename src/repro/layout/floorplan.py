@@ -1,0 +1,111 @@
+"""Machine-room cabinet floorplan (paper Section VI-B).
+
+The paper estimates deployment cable length by placing switches into
+cabinets on a 2-D grid:
+
+* 16 switches per cabinet, cabinets filled with consecutive switch ids
+  (the "conventional floor layout");
+* ``m`` cabinets arranged in ``q = ceil(sqrt(m))`` rows of
+  ``ceil(m/q)`` cabinets;
+* each cabinet is 0.6 m wide and 2.1 m deep *including aisle space*
+  (HP recommendation, the paper's ref [21]);
+* cabinet-to-cabinet distance is the Manhattan distance between grid
+  positions;
+* an intra-cabinet cable is 2 m; an inter-cabinet cable is the
+  Manhattan distance plus a 2 m wiring overhead added **at each
+  cabinet** (ref [22]), i.e. +4 m total by default. The overhead
+  convention is configurable because the paper does not spell out
+  whether "at each cabinet" means one or both endpoints; the relative
+  comparison of Fig. 9 is insensitive to the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import ceil_div, check_positive
+
+__all__ = ["FloorplanConfig", "Floorplan"]
+
+
+@dataclass(frozen=True)
+class FloorplanConfig:
+    """Physical parameters of the machine-room layout."""
+
+    switches_per_cabinet: int = 16
+    cabinet_width_m: float = 0.6
+    cabinet_depth_m: float = 2.1  #: includes aisle space
+    intra_cabinet_cable_m: float = 2.0
+    overhead_per_cabinet_m: float = 2.0  #: added at each endpoint cabinet
+
+    def __post_init__(self) -> None:
+        check_positive("switches_per_cabinet", self.switches_per_cabinet)
+        check_positive("cabinet_width_m", self.cabinet_width_m)
+        check_positive("cabinet_depth_m", self.cabinet_depth_m)
+
+
+class Floorplan:
+    """Cabinet grid for ``num_switches`` switches.
+
+    Row/column conventions follow the paper: ``q = ceil(sqrt(m))`` rows
+    and ``ceil(m / q)`` cabinets per row (the last row may be short).
+    """
+
+    def __init__(self, num_switches: int, config: FloorplanConfig | None = None):
+        check_positive("num_switches", num_switches)
+        self.config = config or FloorplanConfig()
+        self.num_switches = num_switches
+        self.num_cabinets = ceil_div(num_switches, self.config.switches_per_cabinet)
+        self.rows = _isqrt_ceil(self.num_cabinets)
+        self.per_row = ceil_div(self.num_cabinets, self.rows)
+
+    # -- placement -----------------------------------------------------
+    def cabinet_of(self, switch: int) -> int:
+        """Cabinet index of a switch (consecutive ids fill cabinets)."""
+        if not (0 <= switch < self.num_switches):
+            raise ValueError(f"switch {switch} out of range [0, {self.num_switches})")
+        return switch // self.config.switches_per_cabinet
+
+    def cabinet_position(self, cabinet: int) -> tuple[float, float]:
+        """Center position (x, y) of a cabinet in meters."""
+        if not (0 <= cabinet < self.num_cabinets):
+            raise ValueError(f"cabinet {cabinet} out of range [0, {self.num_cabinets})")
+        row, col = divmod(cabinet, self.per_row)
+        return (col * self.config.cabinet_width_m, row * self.config.cabinet_depth_m)
+
+    def cabinet_distance(self, a: int, b: int) -> float:
+        """Manhattan distance between two cabinets in meters."""
+        xa, ya = self.cabinet_position(a)
+        xb, yb = self.cabinet_position(b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    # -- cables ---------------------------------------------------------
+    def cable_length(self, u: int, v: int) -> float:
+        """Length of the cable between switches ``u`` and ``v`` in meters."""
+        ca, cb = self.cabinet_of(u), self.cabinet_of(v)
+        if ca == cb:
+            return self.config.intra_cabinet_cable_m
+        return self.cabinet_distance(ca, cb) + 2 * self.config.overhead_per_cabinet_m
+
+    @property
+    def floor_width_m(self) -> float:
+        return self.per_row * self.config.cabinet_width_m
+
+    @property
+    def floor_depth_m(self) -> float:
+        return self.rows * self.config.cabinet_depth_m
+
+    def __repr__(self) -> str:
+        return (
+            f"<Floorplan {self.num_switches} switches, {self.num_cabinets} cabinets "
+            f"({self.rows} rows x {self.per_row}), "
+            f"{self.floor_width_m:.1f}m x {self.floor_depth_m:.1f}m>"
+        )
+
+
+def _isqrt_ceil(m: int) -> int:
+    """``ceil(sqrt(m))`` exactly."""
+    import math
+
+    r = math.isqrt(m)
+    return r if r * r == m else r + 1

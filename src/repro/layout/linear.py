@@ -1,0 +1,72 @@
+"""1-D line layout for the Theorem 2(b) cable bounds.
+
+Theorem 2(b) reasons about nodes "arranged evenly in a line of length n
+(distance between two adjacent nodes is 1)": DSN's average shortcut
+length is at most ``n/p`` and its total cable at most ``n^2/p + 2n``,
+versus an average shortcut of ``n/3`` for DLN-2-2 -- roughly a ``p/3``
+saving. This module measures those quantities exactly so the theory
+benchmark (experiment E10) can print bound-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topologies.base import LinkClass, Topology
+
+__all__ = ["LinearCableStats", "linear_cable_stats"]
+
+
+def _arc_length(u: int, v: int, n: int) -> int:
+    """Ring-arc length between positions ``u`` and ``v``.
+
+    Theorem 2(b) sums shortcut *spans*: a level-l shortcut contributes
+    about ``n/2^l`` regardless of where the ring was cut open to form
+    the line. Measuring ``|u - v|`` literally would charge a shortcut
+    that happens to straddle the cut almost ``n`` instead of its span,
+    which is a property of the (arbitrary) cut point, not the topology.
+    """
+    d = abs(u - v)
+    return min(d, n - d)
+
+
+@dataclass(frozen=True)
+class LinearCableStats:
+    """Cable statistics on the unit-spaced line layout."""
+
+    name: str
+    total: float  #: total cable length over all links
+    average_shortcut: float  #: mean length of SHORTCUT/RANDOM links
+    num_shortcuts: int
+    average_all: float
+
+
+def linear_cable_stats(topo: Topology) -> LinearCableStats:
+    """Measure line-layout cable lengths of a ring-based topology.
+
+    The ring is laid out along the line (node id = position); the ring's
+    wrap link (n-1, 0) is excluded, matching the theorem's "line" rather
+    than "circle" geometry.
+    """
+    n = topo.n
+    lengths = []
+    shortcut_lengths = []
+    for link in topo.links:
+        if link.cls is LinkClass.LOCAL and {link.u, link.v} == {0, n - 1}:
+            continue  # the ring's wrap link does not exist on the line
+        d = _arc_length(link.u, link.v, n)
+        lengths.append(d)
+        if link.cls in (LinkClass.SHORTCUT, LinkClass.RANDOM):
+            shortcut_lengths.append(d)
+
+    lengths_arr = np.array(lengths, dtype=float)
+    sc = np.array(shortcut_lengths, dtype=float) if shortcut_lengths else np.array([0.0])
+    return LinearCableStats(
+        name=topo.name,
+        total=float(lengths_arr.sum()),
+        average_shortcut=float(sc.mean()),
+        num_shortcuts=len(shortcut_lengths),
+        average_all=float(lengths_arr.mean()),
+    )

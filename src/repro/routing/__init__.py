@@ -1,0 +1,32 @@
+"""Routing substrates: up*/down*, Duato adaptive, DOR, minimal tables, CDG."""
+
+from repro.routing.adaptive import DuatoAdaptiveRouting, RouteCandidate
+from repro.routing.cdg import (
+    ChannelId,
+    assert_deadlock_free,
+    build_cdg,
+    find_cycle,
+    route_channels,
+)
+from repro.routing.dor import dor_channels, dor_next_hop, dor_path
+from repro.routing.lash import LashLayering, lash_adapter, lash_layering
+from repro.routing.table import ShortestPathTable
+from repro.routing.updown import UpDownRouting
+
+__all__ = [
+    "DuatoAdaptiveRouting",
+    "RouteCandidate",
+    "ChannelId",
+    "assert_deadlock_free",
+    "build_cdg",
+    "find_cycle",
+    "route_channels",
+    "dor_channels",
+    "dor_next_hop",
+    "dor_path",
+    "LashLayering",
+    "lash_adapter",
+    "lash_layering",
+    "ShortestPathTable",
+    "UpDownRouting",
+]

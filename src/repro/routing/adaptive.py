@@ -1,0 +1,72 @@
+"""Duato-style topology-agnostic adaptive routing (paper ref [24]).
+
+The paper's simulation uses "the topology-agnostic adaptive routing
+scheme described in [24], with up*/down* routing for the escape paths"
+(Section VII-A). The scheme:
+
+* **adaptive channels** -- a packet may take *any* neighbor on a minimal
+  path toward its destination, on any of the adaptive virtual channels;
+* **escape channel** -- one virtual channel is reserved for up*/down*
+  routing; whenever every adaptive candidate is blocked, the packet can
+  always fall back to the (deadlock-free) escape channel, and Duato's
+  theorem makes the whole network deadlock-free.
+
+This module supplies the candidate sets; the simulator
+(:mod:`repro.sim`) applies the selection policy cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.table import ShortestPathTable
+from repro.routing.updown import UpDownRouting
+from repro.topologies.base import Topology
+
+__all__ = ["RouteCandidate", "DuatoAdaptiveRouting"]
+
+
+@dataclass(frozen=True)
+class RouteCandidate:
+    """One legal output option for a packet at a switch."""
+
+    next_node: int
+    escape: bool  #: True -> must use the escape VC (up*/down* legality)
+    down_only: bool  #: up*/down* phase after this hop (escape candidates)
+
+
+class DuatoAdaptiveRouting:
+    """Minimal-adaptive routing with an up*/down* escape layer."""
+
+    def __init__(self, topo: Topology, root: int | None = None):
+        self.topo = topo
+        self.table = ShortestPathTable(topo)
+        self.updown = UpDownRouting(topo, root=root)
+
+    def candidates(self, u: int, t: int, down_only: bool) -> list[RouteCandidate]:
+        """All legal options at switch ``u`` for a packet headed to ``t``.
+
+        ``down_only`` is the packet's up*/down* phase state, which
+        matters only for the escape options. Adaptive (minimal)
+        candidates are listed first; escape candidates last, so a
+        selection policy that scans in order prefers adaptive progress.
+        """
+        if u == t:
+            return []
+        out = [
+            RouteCandidate(v, escape=False, down_only=down_only)
+            for v in self.table.next_hops(u, t)
+        ]
+        for v, nxt_down in self.updown.next_hops(u, t, down_only=down_only):
+            out.append(RouteCandidate(v, escape=True, down_only=nxt_down))
+        if not out:
+            raise AssertionError(f"no route candidate from {u} to {t}")
+        return out
+
+    def escape_path(self, s: int, t: int) -> list[int]:
+        """The pure-escape (up*/down*) route, for analysis."""
+        return self.updown.path(s, t)
+
+    def minimal_path(self, s: int, t: int, seed: int | None = None) -> list[int]:
+        """A minimal route ignoring the escape layer, for analysis."""
+        return self.table.path(s, t, seed=seed)

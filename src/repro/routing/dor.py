@@ -1,0 +1,75 @@
+"""Dimension-order routing (DOR) for mesh and torus topologies.
+
+The classic e-cube scheme: correct coordinates one dimension at a time,
+taking the minimal direction around each ring. Deadlock-free on a mesh
+as-is; on a torus each dimension needs two virtual channels with a
+dateline (Dally & Seitz), which :func:`dor_channel` exposes for the
+CDG analysis and the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.torus import MeshTopology, TorusTopology
+
+__all__ = ["dor_path", "dor_next_hop", "dor_channel", "dor_channels"]
+
+
+def dor_next_hop(topo: TorusTopology | MeshTopology, u: int, t: int) -> int:
+    """Next node after ``u`` on the dimension-ordered route to ``t``."""
+    if u == t:
+        raise ValueError("already at destination")
+    cu = list(topo.coordinates(u))
+    ct = topo.coordinates(t)
+    wrap = isinstance(topo, TorusTopology)
+    for axis, (a, b, size) in enumerate(zip(cu, ct, topo.dims)):
+        if a == b:
+            continue
+        fwd = (b - a) % size
+        bwd = (a - b) % size
+        if wrap and size > 2:
+            step = 1 if fwd <= bwd else -1
+        else:
+            step = 1 if b > a else -1
+        cu[axis] = (a + step) % size
+        return topo.node_at(cu)
+    raise AssertionError("coordinates equal but nodes differ")
+
+
+def dor_path(topo: TorusTopology | MeshTopology, s: int, t: int) -> list[int]:
+    """Full dimension-ordered route ``[s, ..., t]``."""
+    path = [s]
+    u = s
+    while u != t:
+        u = dor_next_hop(topo, u, t)
+        path.append(u)
+    return path
+
+
+def dor_channel(
+    topo: TorusTopology | MeshTopology, u: int, v: int, crossed_dateline: bool
+) -> tuple[int, int, str]:
+    """Channel id for the DOR hop ``u -> v``.
+
+    On a torus, hops in each dimension use VC class ``"dor0"`` until the
+    route crosses that ring's dateline (the wrap between coordinate
+    ``size-1`` and ``0``) and ``"dor1"`` afterwards -- the Dally-Seitz
+    scheme that breaks each ring's cyclic dependency. On a mesh the VC
+    class is always ``"dor0"``.
+    """
+    return (u, v, "dor1" if crossed_dateline else "dor0")
+
+
+def dor_channels(topo: TorusTopology | MeshTopology, s: int, t: int) -> list[tuple[int, int, str]]:
+    """Channel sequence of the DOR route, with per-dimension datelines."""
+    path = dor_path(topo, s, t)
+    channels = []
+    crossed = [False] * len(topo.dims)
+    for a, b in zip(path, path[1:]):
+        ca, cb = topo.coordinates(a), topo.coordinates(b)
+        axis = next(i for i in range(len(ca)) if ca[i] != cb[i])
+        size = topo.dims[axis]
+        # A wrap hop (size-1 <-> 0) crosses the dateline of this ring.
+        if {ca[axis], cb[axis]} == {0, size - 1} and size > 2:
+            crossed[axis] = True
+        channels.append(dor_channel(topo, a, b, crossed[axis]))
+    return channels

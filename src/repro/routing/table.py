@@ -1,0 +1,68 @@
+"""All-pairs minimal routing tables.
+
+``ShortestPathTable`` precomputes, for every (node, destination) pair,
+the set of neighbors that lie on a minimal path -- the candidate set
+the Duato-style adaptive routing draws from, and the "ideal minimal
+routing" baseline of the balance analysis. Distances come from one
+vectorized csgraph BFS (no per-pair Python search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import shortest_path_matrix
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["ShortestPathTable"]
+
+
+class ShortestPathTable:
+    """Minimal next-hop sets for every ordered pair of a topology."""
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self.dist = shortest_path_matrix(topo).astype(np.int32)
+
+    def distance(self, s: int, t: int) -> int:
+        return int(self.dist[s, t])
+
+    def next_hops(self, u: int, t: int) -> list[int]:
+        """Neighbors of ``u`` on a minimal path to ``t`` (sorted)."""
+        if u == t:
+            return []
+        d = self.dist[u, t]
+        return [v for v in self.topo.neighbors(u) if self.dist[v, t] == d - 1]
+
+    def path(self, s: int, t: int, seed: int | None = None) -> list[int]:
+        """One minimal path; deterministic lowest-id tie-break by default,
+        or a uniform random choice among minimal next hops if ``seed``
+        is given (used to spread load in the balance analysis)."""
+        rng = make_rng(seed) if seed is not None else None
+        path = [s]
+        u = s
+        while u != t:
+            hops = self.next_hops(u, t)
+            u = hops[int(rng.integers(len(hops)))] if rng is not None else hops[0]
+            path.append(u)
+        return path
+
+    def path_count_matrix(self) -> np.ndarray:
+        """Number of distinct minimal paths for every ordered pair.
+
+        Path diversity is one of the small-world selling points the
+        paper mentions ("short routes ... are abundantly provided").
+        Computed by dynamic programming over increasing distance.
+        """
+        n = self.topo.n
+        counts = np.zeros((n, n), dtype=np.float64)
+        np.fill_diagonal(counts, 1.0)
+        maxd = int(self.dist.max())
+        for d in range(1, maxd + 1):
+            for s in range(n):
+                for v in self.topo.neighbors(s):
+                    sel = self.dist[s] == d
+                    onpath = sel & (self.dist[v] == d - 1)
+                    counts[s, onpath] += counts[v, onpath]
+        return counts

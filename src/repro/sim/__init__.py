@@ -1,0 +1,58 @@
+"""Event-driven virtual cut-through network simulator (paper Section VII).
+
+Quick use::
+
+    from repro.sim import NetworkSimulator, SimConfig, AdaptiveEscapeAdapter
+    from repro.routing import DuatoAdaptiveRouting
+    from repro.traffic import make_pattern
+    from repro.core import DSNTopology
+    import numpy as np
+
+    topo = DSNTopology(64)
+    cfg = SimConfig()
+    adapter = AdaptiveEscapeAdapter(
+        DuatoAdaptiveRouting(topo), cfg.num_vcs, np.random.default_rng(0))
+    pattern = make_pattern("uniform", 64 * cfg.hosts_per_switch)
+    result = NetworkSimulator(topo, adapter, pattern, offered_gbps=4.0, config=cfg).run()
+    print(result.avg_latency_ns, result.accepted_gbps)
+"""
+
+from repro.sim.adapters import (
+    AdaptiveEscapeAdapter,
+    DORAdapter,
+    MinimalCustomEscapeAdapter,
+    RoutingAdapter,
+    SimOption,
+    SourceRoutedAdapter,
+    dsn_custom_adapter,
+)
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventQueue
+from repro.sim.flitsim import FlitLevelSimulator
+from repro.sim.metrics import SimResult
+from repro.sim.network import NetworkSimulator
+from repro.sim.packet import Packet
+from repro.sim.ports import OutPort
+from repro.sim.sweep import SaturationSearch, find_saturation
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "NetworkSimulator",
+    "FlitLevelSimulator",
+    "SimConfig",
+    "SimResult",
+    "EventQueue",
+    "Packet",
+    "OutPort",
+    "RoutingAdapter",
+    "SimOption",
+    "AdaptiveEscapeAdapter",
+    "SourceRoutedAdapter",
+    "DORAdapter",
+    "MinimalCustomEscapeAdapter",
+    "dsn_custom_adapter",
+    "SaturationSearch",
+    "find_saturation",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,290 @@
+"""Routing adapters: how the simulator picks output ports and VCs.
+
+Two families, matching the paper:
+
+* :class:`AdaptiveEscapeAdapter` -- the Section VII-A configuration:
+  Duato-style minimal adaptive routing on VCs ``1..V-1`` with an
+  up*/down* escape on VC 0. Our escape is *sticky* (once a packet drops
+  to the escape channel it stays there until delivery), which keeps the
+  escape subnetwork's dependency graph exactly the acyclic up*/down*
+  CDG and therefore provably deadlock-free; the paper's ref [24] allows
+  re-entering adaptive channels, a performance nuance that does not
+  affect the latency/throughput shapes at the evaluated loads.
+* :class:`SourceRoutedAdapter` -- deterministic source routing used for
+  the DSN custom-routing simulations (Section VII-B): the whole path is
+  computed at injection (e.g. by ``dsn_route_extended``) and each hop
+  carries the virtual channel its link class maps to, realizing the
+  DSN-V discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.routing import HopKind, RouteResult
+from repro.routing.adaptive import DuatoAdaptiveRouting
+
+__all__ = [
+    "SimOption",
+    "RoutingAdapter",
+    "AdaptiveEscapeAdapter",
+    "SourceRoutedAdapter",
+    "DORAdapter",
+    "MinimalCustomEscapeAdapter",
+    "dsn_custom_adapter",
+]
+
+
+class SimOption:
+    """One candidate output: next switch, allowed VCs, new routing state."""
+
+    __slots__ = ("next_node", "vc_indices", "new_rstate")
+
+    def __init__(self, next_node: int, vc_indices: Sequence[int], new_rstate: Any):
+        self.next_node = next_node
+        self.vc_indices = tuple(vc_indices)
+        self.new_rstate = new_rstate
+
+
+class RoutingAdapter:
+    """Interface the simulator drives."""
+
+    def initial_state(self, src_switch: int, dst_switch: int) -> Any:
+        raise NotImplementedError
+
+    def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
+        """Candidate outputs at ``switch``, most preferred first."""
+        raise NotImplementedError
+
+
+_ESCAPE_VC = 0
+
+
+class AdaptiveEscapeAdapter(RoutingAdapter):
+    """Minimal-adaptive VCs + sticky up*/down* escape VC (paper Section VII-A)."""
+
+    def __init__(
+        self,
+        routing: DuatoAdaptiveRouting,
+        num_vcs: int,
+        rng: np.random.Generator,
+        escape_only: bool = False,
+    ):
+        if num_vcs < 2:
+            raise ValueError("adaptive + escape needs at least 2 VCs")
+        self.routing = routing
+        self.num_vcs = num_vcs
+        self.rng = rng
+        self.escape_only = escape_only  #: pure up*/down* (the paper's baseline routing)
+        self._adaptive_vcs = tuple(range(1, num_vcs))
+
+    def initial_state(self, src_switch: int, dst_switch: int) -> Any:
+        return ("escape", False) if self.escape_only else ("adaptive", False)
+
+    def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
+        mode, down_only = rstate
+        out: list[SimOption] = []
+        if self.escape_only:
+            # Pure up*/down* on all VCs (the legality, not the VC, is
+            # what makes up*/down* deadlock-free).
+            all_vcs = tuple(range(self.num_vcs))
+            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=down_only):
+                out.append(SimOption(v, all_vcs, ("escape", nxt_down)))
+            if not out:
+                raise AssertionError(
+                    f"no up*/down* option from {switch} to {dst_switch} (down_only={down_only})"
+                )
+            return out
+        if mode == "adaptive":
+            minimal = self.routing.table.next_hops(switch, dst_switch)
+            order = self.rng.permutation(len(minimal)) if len(minimal) > 1 else range(len(minimal))
+            for i in order:
+                out.append(SimOption(minimal[int(i)], self._adaptive_vcs, ("adaptive", False)))
+            # Escape fallback: fresh up*/down* from this switch.
+            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=False):
+                out.append(SimOption(v, (_ESCAPE_VC,), ("escape", nxt_down)))
+        else:
+            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=down_only):
+                out.append(SimOption(v, (_ESCAPE_VC,), ("escape", nxt_down)))
+        if not out:
+            raise AssertionError(
+                f"no routing option from {switch} to {dst_switch} in state {rstate}"
+            )
+        return out
+
+
+class SourceRoutedAdapter(RoutingAdapter):
+    """Deterministic source routing from a path function.
+
+    ``route_fn(src_switch, dst_switch)`` returns a list of
+    ``(next_node, vc_index)`` hops.
+    """
+
+    def __init__(self, route_fn: Callable[[int, int], list[tuple[int, int]]]):
+        self.route_fn = route_fn
+
+    def initial_state(self, src_switch: int, dst_switch: int) -> Any:
+        return (tuple(self.route_fn(src_switch, dst_switch)), 0)
+
+    def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
+        hops, idx = rstate
+        if idx >= len(hops):
+            raise AssertionError(f"source route exhausted at switch {switch}")
+        nxt, vc = hops[idx]
+        return [SimOption(nxt, (vc,), (hops, idx + 1))]
+
+
+class DORAdapter(RoutingAdapter):
+    """Dimension-order routing for mesh/torus with Dally-Seitz datelines.
+
+    The torus's *native* routing, used as an ablation against the
+    topology-agnostic up*/down* scheme of the paper's Section VII: VC
+    pairs (0,1), (2,3), ... carry the before/after-dateline classes.
+    Because dimensions are corrected strictly in order, one VC pair is
+    safely reused across dimensions.
+    """
+
+    def __init__(self, topo, num_vcs: int):
+        from repro.topologies.torus import MeshTopology, TorusTopology
+
+        if not isinstance(topo, (TorusTopology, MeshTopology)):
+            raise TypeError("DORAdapter requires a mesh or torus topology")
+        if num_vcs < 2:
+            raise ValueError("DOR on a torus needs at least 2 VCs for the dateline")
+        self.topo = topo
+        self.num_vcs = num_vcs
+
+    def initial_state(self, src_switch: int, dst_switch: int) -> Any:
+        # (dimension in progress, crossed-its-dateline flag)
+        return (-1, False)
+
+    def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
+        from repro.routing.dor import dor_next_hop
+
+        prev_axis, crossed = rstate
+        nxt = dor_next_hop(self.topo, switch, dst_switch)
+        ca, cb = self.topo.coordinates(switch), self.topo.coordinates(nxt)
+        axis = next(i for i in range(len(ca)) if ca[i] != cb[i])
+        size = self.topo.dims[axis]
+        wrap_hop = {ca[axis], cb[axis]} == {0, size - 1} and size > 2
+        if axis != prev_axis:
+            crossed = False  # each dimension has its own dateline
+        crossed = crossed or wrap_hop
+        # Low VCs = pre-dateline, high VCs = post-dateline.
+        half = self.num_vcs // 2
+        vcs = tuple(range(half, self.num_vcs)) if crossed else tuple(range(half))
+        return [SimOption(nxt, vcs, (axis, crossed))]
+
+
+class MinimalCustomEscapeAdapter(RoutingAdapter):
+    """Deadlock-free **minimal** custom routing on DSN (the paper's
+    stated future work, Section VIII).
+
+    Duato construction with the DSN discipline as the escape layer:
+
+    * adaptive class -- any neighbor on a minimal path, on the top VC;
+    * escape class -- the deadlock-free extended DSN-Routing
+      (:func:`repro.core.extensions.dsn_route_extended`) restarted from
+      the blocking switch, sticky until delivery, on VCs 0-2 using the
+      DSN-V kind-to-VC map (injective per channel direction, CDG-acyclic
+      -- verified in tests/test_cdg.py).
+
+    Unlike the Section VII scheme this needs no global up*/down* tree,
+    so it inherits the custom routing's balance (experiment E13/E20)
+    while routing minimally whenever the network is uncongested.
+    """
+
+    def __init__(self, topo, num_vcs: int, rng: np.random.Generator):
+        from repro.core.extensions import DSNETopology, DSNVTopology
+        from repro.routing.table import ShortestPathTable
+
+        if not isinstance(topo, (DSNETopology, DSNVTopology)):
+            raise TypeError(
+                "MinimalCustomEscapeAdapter needs a DSN-E/DSN-V topology "
+                "(the escape discipline requires the extended channel plan)"
+            )
+        if num_vcs < 4:
+            raise ValueError("needs 4 VCs: 3 escape classes + >=1 adaptive")
+        self.topo = topo
+        self.num_vcs = num_vcs
+        self.rng = rng
+        self.table = ShortestPathTable(topo)
+        self._adaptive_vcs = tuple(range(3, num_vcs))
+        self._route_cache: dict[tuple[int, int], tuple] = {}
+
+    def _escape_hops(self, s: int, t: int) -> tuple:
+        key = (s, t)
+        if key not in self._route_cache:
+            from repro.core.extensions import dsn_route_extended
+
+            result = dsn_route_extended(self.topo, s, t)
+            self._route_cache[key] = tuple(
+                (h.dst, _ESCAPE_KIND_VC[h.kind]) for h in result.hops
+            )
+        return self._route_cache[key]
+
+    def initial_state(self, src_switch: int, dst_switch: int) -> Any:
+        return ("adaptive", None)
+
+    def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
+        mode, esc = rstate
+        out: list[SimOption] = []
+        if mode == "adaptive":
+            minimal = self.table.next_hops(switch, dst_switch)
+            order = self.rng.permutation(len(minimal)) if len(minimal) > 1 else range(len(minimal))
+            for i in order:
+                out.append(SimOption(minimal[int(i)], self._adaptive_vcs, ("adaptive", None)))
+            hops = self._escape_hops(switch, dst_switch)
+            if hops:
+                nxt, vc = hops[0]
+                out.append(SimOption(nxt, (vc,), ("escape", (hops, 1))))
+        else:
+            hops, idx = esc
+            nxt, vc = hops[idx]
+            out.append(SimOption(nxt, (vc,), ("escape", (hops, idx + 1))))
+        if not out:
+            raise AssertionError(f"no option from {switch} to {dst_switch}")
+        return out
+
+
+#: Escape-layer VC map for :class:`MinimalCustomEscapeAdapter`: three
+#: classes suffice because each directed ring channel only ever carries
+#: three distinct hop kinds (pred direction: Up / Pred / Extra; succ
+#: direction: forward-Up / Succ / forward-Extra), and shortcuts one.
+_ESCAPE_KIND_VC = {
+    HopKind.SHORTCUT: 0,
+    HopKind.SUCC: 1,
+    HopKind.UP: 0,
+    HopKind.PRED: 1,
+    HopKind.EXTRA: 2,
+    HopKind.EXPRESS: 0,
+}
+
+
+#: VC assignment realizing the DSN-V discipline on 4 VCs: every directed
+#: ring channel sees at most three distinct classes (pred direction:
+#: Up / Pred / Extra; succ direction: Succ / forward-Up / forward-Extra),
+#: so the kind-to-VC map below is injective per channel direction and the
+#: CDG of (channel, VC) pairs is the one verified acyclic in tests.
+_KIND_VC = {
+    HopKind.SHORTCUT: 0,
+    HopKind.SUCC: 0,
+    HopKind.UP: 1,
+    HopKind.PRED: 2,
+    HopKind.EXTRA: 3,
+    HopKind.EXPRESS: 0,
+}
+
+
+def dsn_custom_adapter(route_fn: Callable[[int, int], RouteResult]) -> SourceRoutedAdapter:
+    """Adapter running a DSN custom routing function (e.g.
+    ``dsn_route_extended``) inside the simulator, with the DSN-V
+    kind-to-VC mapping."""
+
+    def to_hops(s: int, t: int) -> list[tuple[int, int]]:
+        result = route_fn(s, t)
+        return [(h.dst, _KIND_VC[h.kind]) for h in result.hops]
+
+    return SourceRoutedAdapter(to_hops)

@@ -1,0 +1,73 @@
+"""Simulation configuration: the paper's Section VII-A parameters.
+
+Defaults reproduce the paper's setup exactly:
+
+* 64 switches, 4 compute nodes (hosts) per switch;
+* virtual cut-through switching, 4 virtual channels;
+* header processing (routing, VC allocation, switch allocation,
+  crossbar) takes 100 ns per switch;
+* flit injection delay and link delay together are 20 ns;
+* packets are 33 flits (1 header + 32 payload), flits are 256 bits;
+* effective link bandwidth 96 Gbit/s, so one flit serializes in
+  256/96 = 2.67 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import check_positive
+
+__all__ = ["SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Physical and workload parameters of one simulation run."""
+
+    hosts_per_switch: int = 4
+    num_vcs: int = 4  #: total VCs per channel; VC 0 is the escape channel
+    flit_bits: int = 256
+    packet_flits: int = 33
+    link_bandwidth_gbps: float = 96.0
+    router_delay_ns: float = 100.0  #: header pipeline per switch
+    link_delay_ns: float = 20.0  #: injection + link delay
+    warmup_ns: float = 10_000.0
+    measure_ns: float = 30_000.0
+    drain_ns: float = 40_000.0  #: extra time allowed to drain measured packets
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("hosts_per_switch", self.hosts_per_switch)
+        check_positive("num_vcs", self.num_vcs)
+        check_positive("packet_flits", self.packet_flits)
+        check_positive("link_bandwidth_gbps", self.link_bandwidth_gbps)
+
+    @property
+    def flit_time_ns(self) -> float:
+        """Serialization time of one flit on a link."""
+        return self.flit_bits / self.link_bandwidth_gbps
+
+    @property
+    def packet_serialization_ns(self) -> float:
+        """Time for a whole packet to cross a link after the head starts."""
+        return self.packet_flits * self.flit_time_ns
+
+    @property
+    def packet_bits(self) -> int:
+        return self.packet_flits * self.flit_bits
+
+    def packets_per_ns(self, offered_gbps_per_host: float) -> float:
+        """Injection rate (packets/ns/host) for an offered load in Gbit/s/host."""
+        return offered_gbps_per_host / self.packet_bits
+
+    def zero_load_latency_ns(self, switch_hops: float) -> float:
+        """Analytic no-contention latency for a path of ``switch_hops``
+        inter-switch hops (pipelined head latency + tail serialization).
+
+        head: injection link + (hops+1) routers + hops links + ejection
+        link; tail: one packet serialization behind the head.
+        """
+        routers = (switch_hops + 1) * self.router_delay_ns
+        links = (switch_hops + 2) * self.link_delay_ns  # inject + hops + eject
+        return routers + links + self.packet_serialization_ns

@@ -1,0 +1,50 @@
+"""Discrete-event core: a deterministic binary-heap event queue.
+
+Events at equal timestamps pop in scheduling order (a monotone sequence
+number breaks ties), so runs with the same seed replay identically --
+a hard requirement for debugging network deadlocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback, args)`` events."""
+
+    __slots__ = ("_heap", "_seq", "now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def schedule_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay`` ns from now."""
+        self.schedule(self.now + delay, callback, *args)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: float) -> None:
+        """Process events in time order until the queue empties or the
+        next event lies beyond ``until``."""
+        while self._heap and self._heap[0][0] <= until:
+            time, _, callback, args = heapq.heappop(self._heap)
+            self.now = time
+            callback(*args)
+        self.now = max(self.now, min(until, self._heap[0][0]) if self._heap else until)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0][0] if self._heap else None

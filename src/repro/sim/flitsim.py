@@ -1,0 +1,347 @@
+"""Cycle-driven flit-level simulator (the reference engine).
+
+While :mod:`repro.sim.network` schedules whole-packet transfers (exact
+for virtual cut-through with one-packet buffers), this engine ticks the
+network cycle by cycle and moves *individual flits*, modeling:
+
+* per-flit credit-based flow control with configurable buffer depth
+  ``buffer_flits`` -- set it below the packet size to get **wormhole
+  switching** (blocked packets stall stretched across switches, the
+  mode Section V-A's deadlock discussion also covers), or at/above the
+  packet size for **virtual cut-through**;
+* a per-cycle crossbar constraint: one flit per output port per cycle,
+  with round-robin switch allocation among competing inputs;
+* a router pipeline of ``ceil(router_delay / flit_time)`` cycles per
+  header and link pipelines of ``ceil(link_delay / flit_time)`` cycles.
+
+One cycle is one flit time (256 bits / 96 Gbps = 2.67 ns by default).
+The engine is much slower than the event-driven one, so experiments use
+it for cross-validation at small scale (tests pin the two engines to
+the same zero-load latency) and for the wormhole-vs-VCT ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.sim.adapters import RoutingAdapter
+from repro.sim.config import SimConfig
+from repro.sim.metrics import SimResult
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+from repro.util import make_rng
+
+__all__ = ["FlitLevelSimulator"]
+
+
+class _FlitPacket:
+    """Packet bookkeeping for the flit engine."""
+
+    __slots__ = (
+        "pid",
+        "src_host",
+        "dst_host",
+        "dst_switch",
+        "size",
+        "created_ns",
+        "measured",
+        "rstate",
+        "hops",
+    )
+
+    def __init__(self, pid, src_host, dst_host, dst_switch, size, created_ns, measured):
+        self.pid = pid
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.dst_switch = dst_switch
+        self.size = size
+        self.created_ns = created_ns
+        self.measured = measured
+        self.rstate: Any = None
+        self.hops = 0
+
+
+#: input-unit states
+_IDLE, _ROUTING, _WAIT_VC, _ACTIVE = range(4)
+
+
+class _InputUnit:
+    """One (input port, VC) buffer of a switch: holds one packet's flits.
+
+    ``queue`` entries are ``(arrival_cycle, flit_idx)``; a flit is
+    usable once ``arrival_cycle <= now`` (link pipelining).
+    """
+
+    __slots__ = ("queue", "state", "packet", "route_done_cycle", "out_key", "inject_left", "next_flit")
+
+    def __init__(self):
+        self.queue: deque[tuple[int, int]] = deque()
+        self.state = _IDLE
+        self.packet: _FlitPacket | None = None
+        self.route_done_cycle = 0
+        self.out_key: tuple | None = None  # ('sw', u, v, vc) or ('ej', host)
+        self.inject_left = 0  # injection units: flits still to stream in
+        self.next_flit = 0
+
+
+class FlitLevelSimulator:
+    """Synchronous flit-level simulation of one run.
+
+    Parameters mirror :class:`repro.sim.network.NetworkSimulator`, plus
+    ``buffer_flits``: input-buffer depth per VC in flits. ``None`` means
+    one full packet (virtual cut-through); smaller values give wormhole
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        adapter: RoutingAdapter,
+        pattern: TrafficPattern,
+        offered_gbps: float,
+        config: SimConfig | None = None,
+        buffer_flits: int | None = None,
+    ):
+        self.topo = topo
+        self.adapter = adapter
+        self.pattern = pattern
+        self.offered_gbps = offered_gbps
+        self.cfg = config or SimConfig()
+        self.buffer_flits = buffer_flits if buffer_flits is not None else self.cfg.packet_flits
+        if self.buffer_flits < 1:
+            raise ValueError("buffer_flits must be >= 1")
+        if pattern.num_hosts != topo.n * self.cfg.hosts_per_switch:
+            raise ValueError("traffic pattern size does not match the network")
+        self.num_hosts = pattern.num_hosts
+        self.rng = make_rng(self.cfg.seed)
+
+        self.router_cycles = max(1, math.ceil(self.cfg.router_delay_ns / self.cfg.flit_time_ns))
+        self.link_cycles = max(1, math.ceil(self.cfg.link_delay_ns / self.cfg.flit_time_ns))
+
+        v = self.cfg.num_vcs
+        # Input units: ('sw', u, v, vc) is the unit at switch v fed by
+        # the channel from u; ('inj', host, vc) is a host-port unit at
+        # the host's switch.
+        self.units: dict[tuple, _InputUnit] = {}
+        for link in topo.links:
+            for a, b in ((link.u, link.v), (link.v, link.u)):
+                for vc in range(v):
+                    self.units[("sw", a, b, vc)] = _InputUnit()
+        for h in range(self.num_hosts):
+            for vc in range(v):
+                self.units[("inj", h, vc)] = _InputUnit()
+
+        # Free downstream buffer slots, tracked at the sender side.
+        self.credits: dict[tuple, int] = {k: self.buffer_flits for k in self.units}
+        self.credit_returns: deque[tuple[int, tuple]] = deque()
+
+        self._busy: set[tuple] = set()  # units that may need per-cycle work
+        self._rr: dict[tuple, int] = {}  # round-robin pointers per output
+
+        self.host_queue: list[deque[_FlitPacket]] = [deque() for _ in range(self.num_hosts)]
+        self._next_arrival = np.zeros(self.num_hosts)
+        self._next_pid = 0
+
+        self._measure_start = self.cfg.warmup_ns
+        self._measure_end = self.cfg.warmup_ns + self.cfg.measure_ns
+        self._result = SimResult(
+            topology=topo.name,
+            pattern=pattern.name,
+            offered_gbps=offered_gbps,
+            num_hosts=self.num_hosts,
+            measure_window_ns=self.cfg.measure_ns,
+        )
+
+    # ------------------------------------------------------------------
+    def switch_of(self, host: int) -> int:
+        return host // self.cfg.hosts_per_switch
+
+    def _time_ns(self, cycle: int) -> float:
+        return cycle * self.cfg.flit_time_ns
+
+    # ------------------------------------------------------------------
+    # per-cycle phases
+    # ------------------------------------------------------------------
+    def _generate_traffic(self, now: int) -> None:
+        t_ns = self._time_ns(now)
+        rate = self.cfg.packets_per_ns(self.offered_gbps)
+        for h in range(self.num_hosts):
+            while self._next_arrival[h] <= t_ns:
+                created = float(self._next_arrival[h])
+                dst = self.pattern.destination(h, self.rng)
+                measured = self._measure_start <= created < self._measure_end
+                pkt = _FlitPacket(
+                    self._next_pid, h, dst, self.switch_of(dst),
+                    self.cfg.packet_flits, created, measured,
+                )
+                self._next_pid += 1
+                if measured:
+                    self._result.generated_measured += 1
+                self.host_queue[h].append(pkt)
+                self._next_arrival[h] += float(self.rng.exponential(1.0 / rate))
+
+    def _inject(self, now: int) -> None:
+        """Stream source-queue packets into injection units, one flit
+        per host per cycle (the injection link's bandwidth)."""
+        for h, queue in enumerate(self.host_queue):
+            if not queue:
+                continue
+            pkt = queue[0]
+            key = None
+            # Continue streaming into the unit already carrying pkt, or
+            # claim the first idle injection VC for a fresh head.
+            for vc in range(self.cfg.num_vcs):
+                k = ("inj", h, vc)
+                u = self.units[k]
+                if u.packet is pkt:
+                    key = k
+                    break
+                if key is None and u.packet is None and not u.queue:
+                    key = k
+            if key is None:
+                continue
+            u = self.units[key]
+            if u.packet is not pkt:
+                u.packet = pkt
+                u.state = _ROUTING
+                u.route_done_cycle = now + self.router_cycles
+                u.inject_left = pkt.size
+                u.next_flit = 0
+                pkt.rstate = self.adapter.initial_state(self.switch_of(h), pkt.dst_switch)
+                self._busy.add(key)
+            if u.inject_left > 0 and len(u.queue) < self.buffer_flits:
+                u.queue.append((now, u.next_flit))
+                u.next_flit += 1
+                u.inject_left -= 1
+                if u.inject_left == 0:
+                    queue.popleft()
+
+    def _route_and_allocate(self, now: int) -> None:
+        """Router pipeline + VC allocation for units holding a header."""
+        for key in list(self._busy):
+            u = self.units[key]
+            if u.state == _ROUTING and now >= u.route_done_cycle:
+                u.state = _WAIT_VC
+            if u.state != _WAIT_VC:
+                continue
+            pkt = u.packet
+            at_switch = key[2] if key[0] == "sw" else self.switch_of(key[1])
+            if at_switch == pkt.dst_switch:
+                u.out_key = ("ej", pkt.dst_host)
+                u.state = _ACTIVE
+                continue
+            # VCT requires room for the whole packet downstream before
+            # the head advances; wormhole advances on any free slot.
+            need = pkt.size if self.buffer_flits >= pkt.size else 1
+            for opt in self.adapter.options(at_switch, pkt.dst_switch, pkt.rstate):
+                for vc in opt.vc_indices:
+                    tkey = ("sw", at_switch, opt.next_node, vc)
+                    tu = self.units[tkey]
+                    if tu.packet is None and not tu.queue and self.credits[tkey] >= need:
+                        tu.packet = pkt  # reserve the downstream VC
+                        u.out_key = tkey
+                        u.state = _ACTIVE
+                        pkt.rstate = opt.new_rstate
+                        pkt.hops += 1
+                        break
+                else:
+                    continue
+                break
+
+    def _switch_allocation(self, now: int) -> None:
+        """One flit per output resource per cycle, round-robin arbiter."""
+        requests: dict[tuple, list[tuple]] = {}
+        for key in self._busy:
+            u = self.units[key]
+            if u.state != _ACTIVE or not u.queue:
+                continue
+            if u.queue[0][0] > now:
+                continue
+            out = u.out_key
+            if out[0] == "ej":
+                res: tuple = ("ej", out[1])
+            else:
+                if self.credits[out] <= 0:
+                    continue
+                res = ("port", out[1], out[2])  # physical channel u->v
+            requests.setdefault(res, []).append(key)
+
+        for res, reqs in requests.items():
+            reqs.sort()
+            ptr = self._rr.get(res, 0) % len(reqs)
+            self._rr[res] = ptr + 1
+            self._send_flit(reqs[ptr], now)
+
+    def _send_flit(self, key: tuple, now: int) -> None:
+        u = self.units[key]
+        _, flit_idx = u.queue.popleft()
+        pkt = u.packet
+        out = u.out_key
+        is_tail = flit_idx == pkt.size - 1
+
+        # Return the freed buffer slot's credit upstream (after the
+        # reverse-link latency). Injection units backpressure the source
+        # directly through their queue capacity instead.
+        if key[0] == "sw":
+            self.credit_returns.append((now + self.link_cycles, key))
+
+        if out[0] == "ej":
+            if is_tail:
+                self._deliver(pkt, now + self.link_cycles)
+        else:
+            self.credits[out] -= 1
+            tu = self.units[out]
+            tu.queue.append((now + self.link_cycles, flit_idx))
+            self._busy.add(out)
+            if flit_idx == 0:
+                tu.state = _ROUTING
+                tu.route_done_cycle = now + self.link_cycles + self.router_cycles
+
+        if is_tail:
+            # Packet fully left this unit; free it for the next one.
+            u.state = _IDLE
+            u.packet = None
+            u.out_key = None
+            if not u.queue:
+                self._busy.discard(key)
+
+    def _deliver(self, pkt: _FlitPacket, cycle: int) -> None:
+        t_ns = self._time_ns(cycle)
+        if self._measure_start <= t_ns < self._measure_end:
+            self._result.delivered_in_window_bits += pkt.size * self.cfg.flit_bits
+            self._result.delivered_in_window_count += 1
+        if pkt.measured:
+            self._result.delivered_measured += 1
+            self._result.latencies_ns.append(t_ns - pkt.created_ns)
+            self._result.hop_counts.append(pkt.hops)
+
+    def _return_credits(self, now: int) -> None:
+        while self.credit_returns and self.credit_returns[0][0] <= now:
+            _, key = self.credit_returns.popleft()
+            self.credits[key] += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        horizon_ns = self._measure_end + self.cfg.drain_ns
+        horizon = math.ceil(horizon_ns / self.cfg.flit_time_ns)
+        rate = self.cfg.packets_per_ns(self.offered_gbps)
+        for h in range(self.num_hosts):
+            self._next_arrival[h] = float(self.rng.exponential(1.0 / rate))
+
+        for cycle in range(horizon):
+            self._return_credits(cycle)
+            self._generate_traffic(cycle)
+            self._inject(cycle)
+            self._route_and_allocate(cycle)
+            self._switch_allocation(cycle)
+            if (
+                cycle % 512 == 0
+                and self._time_ns(cycle) > self._measure_end
+                and self._result.delivered_measured >= self._result.generated_measured
+            ):
+                break
+        return self._result

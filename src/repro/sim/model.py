@@ -1,0 +1,150 @@
+"""Analytic latency model: zero-load pipeline + M/D/1 channel queueing.
+
+The classic back-of-envelope for interconnect latency curves
+(Dally & Towles, ch. 23, the paper's ref [25]):
+
+* **zero-load latency** -- head pipeline through ``h+1`` routers plus
+  link traversals plus one packet serialization (exactly
+  :meth:`repro.sim.config.SimConfig.zero_load_latency_ns`);
+* **contention** -- each directed channel is an M/D/1 queue: packets
+  arrive Poisson at the rate implied by the offered load and the
+  routing function's channel-load share, and occupy the channel for a
+  deterministic packet serialization time. Mean waiting time per
+  channel is ``rho * S / (2 (1 - rho))``; a packet pays the mean wait
+  of the channels it crosses.
+
+The model needs only the topology, the per-channel load shares (from
+:func:`repro.analysis.balance.channel_loads` or uniform minimal
+routing), and the configuration -- no simulation. Experiment E24
+validates it against the event-driven engine: it tracks the simulator
+within ~10 % up to ~70 % of saturation and predicts the saturation
+asymptote location, which is all an analytic model is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import average_shortest_path_length, shortest_path_matrix
+from repro.sim.config import SimConfig
+from repro.topologies.base import Topology
+
+__all__ = ["LatencyModel", "build_uniform_model"]
+
+
+@dataclass
+class LatencyModel:
+    """Analytic latency-vs-load predictor for one (topology, routing)."""
+
+    topo: Topology
+    cfg: SimConfig
+    avg_hops: float  #: mean switch-to-switch hops per packet
+    channel_shares: np.ndarray  #: per-channel fraction of all packet-hops
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channel_shares)
+
+    def packet_rate_per_ns(self, offered_gbps: float) -> float:
+        """Aggregate packet injection rate of all hosts."""
+        hosts = self.topo.n * self.cfg.hosts_per_switch
+        return hosts * self.cfg.packets_per_ns(offered_gbps)
+
+    def channel_utilizations(self, offered_gbps: float) -> np.ndarray:
+        """rho per channel at the given offered load."""
+        hop_rate = self.packet_rate_per_ns(offered_gbps) * self.avg_hops
+        lam = hop_rate * self.channel_shares  # packets/ns per channel
+        return lam * self.cfg.packet_serialization_ns
+
+    def saturation_gbps(self) -> float:
+        """Offered load at which the hottest channel reaches rho = 1."""
+        hottest = float(self.channel_shares.max())
+        if hottest <= 0:
+            return float("inf")
+        # rho = hosts * load/packet_bits * avg_hops * share * S = 1
+        hosts = self.topo.n * self.cfg.hosts_per_switch
+        per_gbps = (
+            hosts / self.cfg.packet_bits * self.avg_hops * hottest
+            * self.cfg.packet_serialization_ns
+        )
+        return 1.0 / per_gbps
+
+    def latency_ns(self, offered_gbps: float) -> float:
+        """Predicted mean latency at an offered load (Gbit/s/host).
+
+        Returns ``inf`` at or beyond the predicted saturation point.
+        """
+        rho = self.channel_utilizations(offered_gbps)
+        if (rho >= 1.0).any():
+            return float("inf")
+        s = self.cfg.packet_serialization_ns
+        # M/D/1 mean wait per channel, weighted by the probability a
+        # packet's hop lands on that channel (its share of hops).
+        waits = rho * s / (2.0 * (1.0 - rho))
+        shares = self.channel_shares
+        mean_wait_per_hop = float((waits * shares).sum() / shares.sum()) if shares.sum() else 0.0
+        return self.cfg.zero_load_latency_ns(self.avg_hops) + self.avg_hops * mean_wait_per_hop
+
+    def curve(self, loads: tuple[float, ...]) -> list[float]:
+        return [self.latency_ns(l) for l in loads]
+
+
+def build_uniform_model(
+    topo: Topology,
+    cfg: SimConfig | None = None,
+    balanced: bool = True,
+) -> LatencyModel:
+    """Model for uniform traffic under minimal routing.
+
+    ``balanced=True`` (default) computes each channel's *expected* load
+    when every minimal path is equally likely -- the idealization of
+    the simulator's minimal-adaptive router. For pair (s, t), channel
+    (u, v) carries probability ``paths(s,u) * paths(v,t) / paths(s,t)``
+    whenever it lies on a shortest path, with ``paths`` the
+    minimal-path-count matrix.
+
+    ``balanced=False`` instead counts one deterministic (lowest-id
+    tie-break) minimal path per pair -- an oblivious router; its
+    saturation estimate is correspondingly pessimistic.
+    """
+    from repro.routing.table import ShortestPathTable
+
+    cfg = cfg or SimConfig()
+    table = ShortestPathTable(topo)
+    dist = table.dist
+    n = topo.n
+
+    channels = []
+    for link in topo.links:
+        channels.append((link.u, link.v))
+        channels.append((link.v, link.u))
+    index = {ch: i for i, ch in enumerate(channels)}
+    values = np.zeros(len(channels))
+
+    if balanced:
+        counts = table.path_count_matrix()
+        for u, v in channels:
+            # pairs (s, t) whose shortest paths can use u -> v
+            on_path = (dist[:, u][:, None] + 1 + dist[v, :][None, :]) == dist
+            ps = counts[:, u][:, None] * counts[v, :][None, :]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                prob = np.where(on_path & (counts > 0), ps / np.maximum(counts, 1), 0.0)
+            np.fill_diagonal(prob, 0.0)
+            values[index[(u, v)]] = prob.sum()
+    else:
+        from repro.analysis.balance import channel_loads
+
+        loads = channel_loads(topo, lambda s, t: table.path(s, t))
+        for ch, load in loads.items():
+            values[index[ch]] = load
+
+    total = values.sum()
+    shares = values / total if total else values
+    return LatencyModel(
+        topo=topo,
+        cfg=cfg,
+        avg_hops=average_shortest_path_length(topo, shortest_path_matrix(topo)),
+        channel_shares=shares,
+    )

@@ -1,0 +1,285 @@
+"""The network simulator: virtual cut-through switching, event driven.
+
+Model (see DESIGN.md substitution #1): switches are input-buffered with
+``num_vcs`` one-packet-deep virtual-channel buffers per input port
+(the virtual cut-through minimum). A packet advances hop by hop; each
+hop needs (a) a free VC buffer at the downstream input port and (b) a
+serialization slot on the physical channel. Because a granted transfer
+always completes in ``packet_flits * flit_time`` (downstream space for
+the whole packet is guaranteed up front -- the definition of VCT),
+individual flits need no events of their own: the flit structure is
+exact in the serialization windows and buffer occupancy times.
+
+Timing per hop: head processed ``router_delay_ns`` after arrival, waits
+for resources, crosses the link in ``link_delay_ns``, tail follows one
+packet-serialization later. Blocked packets register as waiters on the
+contended output ports and are retried in FIFO order when a VC frees.
+
+Hosts inject independently (Poisson arrivals at the offered load) into
+per-host infinite source queues; measured latency includes source-queue
+time, so it diverges at saturation exactly as the paper's Fig. 10
+curves do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.sim.adapters import RoutingAdapter
+from repro.sim.config import SimConfig
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import SimResult
+from repro.sim.packet import Packet
+from repro.sim.ports import OutPort
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+from repro.util import make_rng
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """One simulation run of ``topo`` under ``pattern`` at ``offered_gbps``."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        adapter: RoutingAdapter,
+        pattern: TrafficPattern,
+        offered_gbps: float,
+        config: SimConfig | None = None,
+        collect_channel_stats: bool = False,
+        tracer=None,
+    ):
+        self.topo = topo
+        self.adapter = adapter
+        self.pattern = pattern
+        self.offered_gbps = offered_gbps
+        self.cfg = config or SimConfig()
+        if pattern.num_hosts != topo.n * self.cfg.hosts_per_switch:
+            raise ValueError(
+                f"pattern built for {pattern.num_hosts} hosts but the network has "
+                f"{topo.n * self.cfg.hosts_per_switch}"
+            )
+        self.num_hosts = pattern.num_hosts
+        self.rng = make_rng(self.cfg.seed)
+        self.eq = EventQueue()
+
+        v = self.cfg.num_vcs
+        # Directed switch-to-switch channels.
+        self._sw_port: dict[tuple[int, int], OutPort] = {}
+        for link in topo.links:
+            self._sw_port[(link.u, link.v)] = OutPort(("sw", link.u, link.v), v)
+            self._sw_port[(link.v, link.u)] = OutPort(("sw", link.v, link.u), v)
+        # Host injection (host -> switch input buffers) and ejection.
+        self._inj_port = [OutPort(("inj", h), v) for h in range(self.num_hosts)]
+        self._ej_busy = [0.0] * self.num_hosts  # ejection is serialization only
+        self._host_queue: list[deque[Packet]] = [deque() for _ in range(self.num_hosts)]
+        self._host_blocked = [False] * self.num_hosts
+
+        self._next_pid = 0
+        self._result = SimResult(
+            topology=topo.name,
+            pattern=pattern.name,
+            offered_gbps=offered_gbps,
+            num_hosts=self.num_hosts,
+            measure_window_ns=self.cfg.measure_ns,
+        )
+        self._measure_start = self.cfg.warmup_ns
+        self._measure_end = self.cfg.warmup_ns + self.cfg.measure_ns
+        self._tracer = tracer
+        self._collect_stats = collect_channel_stats
+        if collect_channel_stats:
+            self._result.channel_busy_ns = {
+                (u, v): 0.0 for (u, v) in self._sw_port
+            }
+
+    # ------------------------------------------------------------------
+    # host mapping
+    # ------------------------------------------------------------------
+    def switch_of(self, host: int) -> int:
+        return host // self.cfg.hosts_per_switch
+
+    # ------------------------------------------------------------------
+    # traffic generation
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self, host: int) -> None:
+        rate = self.cfg.packets_per_ns(self.offered_gbps)
+        gap = float(self.rng.exponential(1.0 / rate))
+        self.eq.schedule_in(gap, self._arrive, host)
+
+    def _arrive(self, host: int) -> None:
+        now = self.eq.now
+        dst = self.pattern.destination(host, self.rng)
+        pkt = Packet(
+            pid=self._next_pid,
+            src_host=host,
+            dst_host=dst,
+            src_switch=self.switch_of(host),
+            dst_switch=self.switch_of(dst),
+            size_flits=self.cfg.packet_flits,
+            time_created=now,
+        )
+        self._next_pid += 1
+        if self._measure_start <= now < self._measure_end:
+            pkt.measured = True
+            self._result.generated_measured += 1
+        self._host_queue[host].append(pkt)
+        self._try_inject(host)
+        self._schedule_next_arrival(host)
+
+    def _try_inject(self, host: int) -> None:
+        queue = self._host_queue[host]
+        if not queue or self._host_blocked[host]:
+            return
+        port = self._inj_port[host]
+        free = port.free_vcs(range(self.cfg.num_vcs))
+        if not free:
+            self._host_blocked[host] = True  # woken by _release on this port
+            return
+        pkt = queue.popleft()
+        vc = free[0]
+        port.reserve(vc, pkt)
+        start = max(self.eq.now, port.busy_until)
+        port.busy_until = start + self.cfg.packet_serialization_ns
+        pkt.time_injected = start
+        pkt.hold = (port, vc)
+        pkt.at_switch = pkt.src_switch
+        pkt.rstate = self.adapter.initial_state(pkt.src_switch, pkt.dst_switch)
+        if self._tracer is not None:
+            self._tracer.on_inject(start, pkt.pid, pkt.src_switch, pkt.dst_switch)
+        # Head crosses the injection link, then the router pipeline runs.
+        self.eq.schedule(
+            start + self.cfg.link_delay_ns + self.cfg.router_delay_ns,
+            self._try_forward,
+            pkt,
+        )
+        # More VCs may be free for further queued packets.
+        if queue:
+            self._try_inject(host)
+
+    # ------------------------------------------------------------------
+    # switching
+    # ------------------------------------------------------------------
+    def _try_forward(self, pkt: Packet) -> None:
+        now = self.eq.now
+        ser = self.cfg.packet_serialization_ns
+        if pkt.at_switch == pkt.dst_switch:
+            # Ejection: serialization on the switch-to-host channel only
+            # (the host always sinks).
+            start = max(now, self._ej_busy[pkt.dst_host])
+            self._ej_busy[pkt.dst_host] = start + ser
+            self.eq.schedule(start + ser, self._release_hold, pkt, pkt.hold)
+            self.eq.schedule(start + self.cfg.link_delay_ns + ser, self._delivered, pkt)
+            pkt.hold = None
+            return
+
+        options = self.adapter.options(pkt.at_switch, pkt.dst_switch, pkt.rstate)
+        for opt in options:
+            port = self._sw_port[(pkt.at_switch, opt.next_node)]
+            free = port.free_vcs(opt.vc_indices)
+            if not free:
+                continue
+            vc = free[0]
+            port.reserve(vc, pkt)
+            start = max(now, port.busy_until)
+            port.busy_until = start + ser
+            if self._collect_stats:
+                # Busy-time clipped to the measurement window.
+                lo = max(start, self._measure_start)
+                hi = min(start + ser, self._measure_end)
+                if hi > lo:
+                    self._result.channel_busy_ns[(pkt.at_switch, opt.next_node)] += hi - lo
+            self.eq.schedule(start + ser, self._release_hold, pkt, pkt.hold)
+            if self._tracer is not None:
+                self._tracer.on_hop(start, pkt.pid, pkt.at_switch, opt.next_node, vc)
+            pkt.hold = (port, vc)
+            pkt.rstate = opt.new_rstate
+            pkt.at_switch = opt.next_node
+            pkt.hops += 1
+            self.eq.schedule(
+                start + self.cfg.link_delay_ns + self.cfg.router_delay_ns,
+                self._try_forward,
+                pkt,
+            )
+            return
+
+        # All candidates blocked: record which VCs of which ports could
+        # unblock this packet and park it on their waiter queues. The
+        # release handler wakes only waiters that match the freed VC, so
+        # a release costs a scan, not a network-wide retry storm.
+        pkt.waiting = True
+        wanted: dict[tuple[int, int], set[int]] = {}
+        for opt in options:
+            wanted.setdefault((pkt.at_switch, opt.next_node), set()).update(opt.vc_indices)
+        pkt.wait_vcs = wanted
+        for key in wanted:
+            self._sw_port[key].waiters.append(pkt)
+
+    def _release_hold(self, pkt: Packet, hold) -> None:
+        if hold is None:
+            return
+        port, vc = hold
+        port.release(vc, pkt)
+        kind = port.key[0]
+        if kind == "inj":
+            host = port.key[1]
+            self._host_blocked[host] = False
+            self._try_inject(host)
+            return
+        self._wake_matching(port, vc)
+
+    def _wake_matching(self, port, vc: int) -> None:
+        """Wake (in FIFO order) waiters that can use the freed ``vc``
+        until it is re-reserved. Stale entries -- packets that already
+        forwarded via another port -- are dropped lazily via the
+        ``waiting`` flag, with an occasional purge to bound the queue.
+        """
+        key = (port.key[1], port.key[2])
+        while port.vcs[vc] is None:
+            idx = None
+            for i, w in enumerate(port.waiters):
+                if w.waiting and vc in w.wait_vcs.get(key, ()):
+                    idx = i
+                    break
+            if idx is None:
+                if len(port.waiters) > 64:
+                    port.waiters = deque(w for w in port.waiters if w.waiting)
+                return
+            woken = port.waiters[idx]
+            del port.waiters[idx]
+            woken.waiting = False
+            woken.wait_vcs = None
+            self._try_forward(woken)
+
+    def _delivered(self, pkt: Packet) -> None:
+        now = self.eq.now
+        pkt.time_delivered = now
+        if self._tracer is not None:
+            self._tracer.on_deliver(now, pkt.pid, pkt.dst_host)
+        if self._measure_start <= now < self._measure_end:
+            self._result.delivered_in_window_bits += pkt.size_flits * self.cfg.flit_bits
+            self._result.delivered_in_window_count += 1
+        if pkt.measured:
+            self._result.delivered_measured += 1
+            self._result.latencies_ns.append(pkt.latency_ns)
+            self._result.hop_counts.append(pkt.hops)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Run warmup + measurement (+ drain) and return the result."""
+        for host in range(self.num_hosts):
+            self._schedule_next_arrival(host)
+        horizon = self._measure_end + self.cfg.drain_ns
+        # Stop early once every measured packet has drained.
+        step = max(self.cfg.measure_ns / 10.0, 1000.0)
+        t = self._measure_end
+        self.eq.run(until=t)
+        while t < horizon:
+            if self._result.delivered_measured >= self._result.generated_measured:
+                break
+            t = min(t + step, horizon)
+            self.eq.run(until=t)
+        return self._result

@@ -1,0 +1,77 @@
+"""Packet state for the event-driven simulator.
+
+The simulator is *flit-aware but packet-event-driven*: with virtual
+cut-through and full-packet input buffers, a transfer that wins a
+channel always completes in ``packet_flits * flit_time``, so individual
+flits never need their own events -- the flit structure shows up in the
+serialization windows and in credit (buffer) accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """One packet in flight (or queued at its source)."""
+
+    __slots__ = (
+        "pid",
+        "src_host",
+        "dst_host",
+        "src_switch",
+        "dst_switch",
+        "size_flits",
+        "time_created",
+        "time_injected",
+        "time_delivered",
+        "hops",
+        "measured",
+        "rstate",
+        "waiting",
+        "hold",
+        "at_switch",
+        "wait_vcs",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        src_host: int,
+        dst_host: int,
+        src_switch: int,
+        dst_switch: int,
+        size_flits: int,
+        time_created: float,
+    ):
+        self.pid = pid
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.src_switch = src_switch
+        self.dst_switch = dst_switch
+        self.size_flits = size_flits
+        self.time_created = time_created
+        self.time_injected = -1.0
+        self.time_delivered = -1.0
+        self.hops = 0  #: inter-switch hops taken so far
+        self.measured = False
+        self.rstate: Any = None  #: routing-adapter state (phase, route index, ...)
+        self.waiting = False  #: registered on some port's waiter queue
+        self.hold = None  #: (OutPort, vc) currently buffered in (upstream reservation)
+        self.at_switch = src_switch  #: switch currently holding the packet's head
+        self.wait_vcs = None  #: {(u, v): {vc, ...}} resources that could unblock us
+
+    @property
+    def latency_ns(self) -> float:
+        """Source-queue + network latency (creation to tail delivery)."""
+        if self.time_delivered < 0:
+            raise ValueError(f"packet {self.pid} not delivered yet")
+        return self.time_delivered - self.time_created
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet {self.pid} {self.src_host}->{self.dst_host} "
+            f"created={self.time_created:.0f}ns hops={self.hops}>"
+        )

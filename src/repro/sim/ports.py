@@ -1,0 +1,54 @@
+"""Output-port state: channel serialization, VC reservations, waiters.
+
+One :class:`OutPort` models a directed channel (switch-to-switch,
+host-to-switch injection, or switch-to-host ejection). Reserving one of
+its VCs is equivalent to holding the corresponding *input* buffer at
+the downstream element (buffers are one packet deep, the virtual
+cut-through minimum), so a single structure carries both the credit and
+the VC-allocation state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.packet import Packet
+
+__all__ = ["OutPort"]
+
+
+class OutPort:
+    """A directed channel with ``num_vcs`` one-packet buffers downstream."""
+
+    __slots__ = ("key", "busy_until", "vcs", "waiters")
+
+    def __init__(self, key: tuple, num_vcs: int):
+        self.key = key
+        self.busy_until = 0.0  #: physical-channel serialization horizon
+        self.vcs: list["Packet | None"] = [None] * num_vcs
+        self.waiters: deque["Packet"] = deque()
+
+    def free_vcs(self, indices: range | tuple[int, ...]) -> list[int]:
+        """Free VC indices among ``indices``."""
+        return [i for i in indices if self.vcs[i] is None]
+
+    def reserve(self, vc: int, packet: "Packet") -> None:
+        if self.vcs[vc] is not None:
+            raise AssertionError(f"VC {vc} of {self.key} already held")
+        self.vcs[vc] = packet
+
+    def release(self, vc: int, packet: "Packet") -> None:
+        if self.vcs[vc] is not packet:
+            raise AssertionError(f"VC {vc} of {self.key} not held by packet {packet.pid}")
+        self.vcs[vc] = None
+
+    def enqueue_waiter(self, packet: "Packet") -> None:
+        if not packet.waiting:
+            packet.waiting = True
+        self.waiters.append(packet)
+
+    def __repr__(self) -> str:
+        used = sum(v is not None for v in self.vcs)
+        return f"<OutPort {self.key} vcs={used}/{len(self.vcs)} waiters={len(self.waiters)}>"

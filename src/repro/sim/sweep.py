@@ -1,0 +1,94 @@
+"""Saturation-throughput search.
+
+The paper's second metric: "The throughput is the largest amount of
+traffic (in Gbit/sec) accepted by the network before the network is not
+saturated" (Section VII-A). This module measures it directly with a
+bracketed bisection over offered load: grow the load geometrically
+until the network saturates, then bisect the bracket down to the wanted
+resolution. Each probe is one short simulator run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.metrics import SimResult
+
+__all__ = ["SaturationSearch", "find_saturation"]
+
+
+@dataclass(frozen=True)
+class SaturationSearch:
+    """Result of a saturation search."""
+
+    topology: str
+    pattern: str
+    saturation_gbps: float  #: largest probed load that was NOT saturated
+    first_saturated_gbps: float  #: smallest probed load that WAS saturated
+    accepted_at_saturation: float
+    probes: int
+
+    def row(self) -> list:
+        return [
+            self.topology,
+            self.pattern,
+            round(self.saturation_gbps, 2),
+            round(self.accepted_at_saturation, 2),
+            self.probes,
+        ]
+
+
+def find_saturation(
+    run_at: Callable[[float], SimResult],
+    start_gbps: float = 4.0,
+    max_gbps: float = 64.0,
+    resolution_gbps: float = 1.0,
+) -> SaturationSearch:
+    """Bisect for the saturation throughput.
+
+    ``run_at(load)`` runs one simulation and returns its
+    :class:`SimResult`; the ``saturated`` flag drives the search.
+    """
+    probes = 0
+    lo, lo_result = 0.0, None
+    hi = None
+    load = start_gbps
+    # Bracket: geometric growth until a saturated probe (or the cap).
+    while hi is None and load <= max_gbps:
+        r = run_at(load)
+        probes += 1
+        if r.saturated:
+            hi, hi_result = load, r
+        else:
+            lo, lo_result = load, r
+            load *= 2.0
+    if hi is None:
+        # Never saturated below the cap: report the cap as the floor.
+        return SaturationSearch(
+            topology=lo_result.topology if lo_result else "?",
+            pattern=lo_result.pattern if lo_result else "?",
+            saturation_gbps=lo,
+            first_saturated_gbps=float("inf"),
+            accepted_at_saturation=lo_result.accepted_gbps if lo_result else 0.0,
+            probes=probes,
+        )
+
+    while hi - lo > resolution_gbps:
+        mid = (hi + lo) / 2.0
+        r = run_at(mid)
+        probes += 1
+        if r.saturated:
+            hi, hi_result = mid, r
+        else:
+            lo, lo_result = mid, r
+
+    best = lo_result if lo_result is not None else hi_result
+    return SaturationSearch(
+        topology=best.topology,
+        pattern=best.pattern,
+        saturation_gbps=lo,
+        first_saturated_gbps=hi,
+        accepted_at_saturation=(lo_result.accepted_gbps if lo_result else 0.0),
+        probes=probes,
+    )

@@ -1,0 +1,90 @@
+"""Simulation tracing: per-packet event records for debugging/analysis.
+
+Pass a :class:`TraceRecorder` to :class:`~repro.sim.network.
+NetworkSimulator` and every packet lifecycle event (inject, hop,
+deliver) is recorded with its timestamp. Useful for debugging routing
+or blocking behaviour, for latency breakdowns, and in tests that need
+to assert on *when* things happened rather than aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet lifecycle event."""
+
+    time_ns: float
+    kind: str  #: "inject" | "hop" | "deliver"
+    pid: int
+    at: int  #: switch involved (destination switch of a hop)
+    detail: str = ""
+
+    def row(self) -> list:
+        return [round(self.time_ns, 1), self.kind, self.pid, self.at, self.detail]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    ``max_events`` guards against unbounded memory on long runs; when
+    reached, further events are dropped and ``truncated`` is set.
+    """
+
+    max_events: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    # -- hooks called by the simulator ---------------------------------
+    def on_inject(self, time_ns: float, pid: int, src_switch: int, dst_switch: int) -> None:
+        self._add(TraceEvent(time_ns, "inject", pid, src_switch, f"dst_switch={dst_switch}"))
+
+    def on_hop(self, time_ns: float, pid: int, from_switch: int, to_switch: int, vc: int) -> None:
+        self._add(TraceEvent(time_ns, "hop", pid, to_switch, f"from={from_switch} vc={vc}"))
+
+    def on_deliver(self, time_ns: float, pid: int, dst_host: int) -> None:
+        self._add(TraceEvent(time_ns, "deliver", pid, dst_host // 4, f"host={dst_host}"))
+
+    def _add(self, ev: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(ev)
+
+    # -- queries --------------------------------------------------------
+    def packet_events(self, pid: int) -> list[TraceEvent]:
+        """All events of one packet, in time order."""
+        return [e for e in self.events if e.pid == pid]
+
+    def packet_latency_breakdown(self, pid: int) -> dict[str, float]:
+        """Injection-to-delivery split into per-hop intervals."""
+        evs = self.packet_events(pid)
+        if not evs or evs[-1].kind != "deliver":
+            raise ValueError(f"packet {pid} has no complete trace")
+        out = {"total_ns": evs[-1].time_ns - evs[0].time_ns, "hops": 0.0}
+        prev = evs[0].time_ns
+        for e in evs[1:]:
+            if e.kind == "hop":
+                out["hops"] += 1
+            out[f"step{int(out['hops'])}_{e.kind}_ns"] = e.time_ns - prev
+            prev = e.time_ns
+        return out
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write one JSON object per event (ndjson)."""
+        with open(path, "w") as fh:
+            for e in self.events:
+                fh.write(json.dumps({
+                    "t": e.time_ns, "kind": e.kind, "pid": e.pid,
+                    "at": e.at, "detail": e.detail,
+                }) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.events)

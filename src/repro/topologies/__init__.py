@@ -1,0 +1,58 @@
+"""Switch topologies: the DSN substrate ring plus every baseline.
+
+The paper's evaluation compares three families (Sections VI-VII):
+
+* **DSN** -- the contribution, in :mod:`repro.core`;
+* **2-D torus** -- :class:`TorusTopology`, the non-random baseline;
+* **RANDOM = DLN-2-2** -- :class:`DLNRandomTopology`, the random baseline.
+
+Related-work comparators (Kleinberg grids, fully random regular graphs,
+de Bruijn / Kautz / CCC / hypercube) live here too so the same metric
+pipeline runs over all of them.
+"""
+
+from repro.topologies.base import Link, LinkClass, Topology, directed_channels
+from repro.topologies.io import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topologies.classic import (
+    CubeConnectedCyclesTopology,
+    DeBruijnTopology,
+    HypercubeTopology,
+    HypernetTopology,
+    KautzTopology,
+)
+from repro.topologies.dln import DLNRandomTopology, DLNTopology
+from repro.topologies.kleinberg import KleinbergTopology, greedy_route
+from repro.topologies.random_regular import RandomRegularTopology
+from repro.topologies.ring import LineTopology, RingTopology
+from repro.topologies.torus import MeshTopology, TorusTopology, balanced_dims
+
+__all__ = [
+    "Link",
+    "LinkClass",
+    "Topology",
+    "directed_channels",
+    "RingTopology",
+    "LineTopology",
+    "TorusTopology",
+    "MeshTopology",
+    "balanced_dims",
+    "DLNTopology",
+    "DLNRandomTopology",
+    "KleinbergTopology",
+    "greedy_route",
+    "RandomRegularTopology",
+    "DeBruijnTopology",
+    "KautzTopology",
+    "CubeConnectedCyclesTopology",
+    "HypercubeTopology",
+    "HypernetTopology",
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

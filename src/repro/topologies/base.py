@@ -1,0 +1,266 @@
+"""Topology kernel: immutable undirected switch graphs.
+
+Every topology in the reproduction -- the DSN contribution and all the
+baselines (torus, DLN-x-y, Kleinberg grid, ...) -- is an instance of
+:class:`Topology`: ``n`` switches identified by integers ``0..n-1`` and a
+set of undirected links, each tagged with a :class:`LinkClass` describing
+its role (ring link, deterministic shortcut, random shortcut, torus
+dimension link, ...).
+
+The link classes matter for three downstream consumers:
+
+* the cable-length analysis (paper Fig. 9) reports per-class statistics;
+* the channel-dependency-graph deadlock analysis (paper Theorem 3) groups
+  channels by class exactly as the paper's proof does;
+* the simulator assigns ports in a deterministic order so runs replay.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import check_index
+
+__all__ = ["LinkClass", "Link", "Topology"]
+
+
+class LinkClass(enum.Enum):
+    """Role of a link within its topology."""
+
+    LOCAL = "local"  #: ring pred/succ or grid/mesh neighbor link
+    WRAP = "wrap"  #: torus wraparound link
+    SHORTCUT = "shortcut"  #: deterministic DSN/DLN shortcut
+    RANDOM = "random"  #: random shortcut (DLN-x-y, Kleinberg, ...)
+    UP = "up"  #: DSN-E Up link (Section V-A)
+    EXTRA = "extra"  #: DSN-E Extra link (Section V-A)
+    EXPRESS = "express"  #: DSN-D short express link (Section V-B)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinkClass.{self.name}"
+
+
+class Link:
+    """An undirected link ``{u, v}`` with a :class:`LinkClass` tag.
+
+    Stored canonically with ``u < v``.
+    """
+
+    __slots__ = ("u", "v", "cls")
+
+    def __init__(self, u: int, v: int, cls: LinkClass = LinkClass.LOCAL):
+        if u == v:
+            raise ValueError(f"self-loop at node {u} is not a valid link")
+        if u > v:
+            u, v = v, u
+        self.u = u
+        self.v = v
+        self.cls = cls
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.u, self.v)
+
+    def other(self, node: int) -> int:
+        """Return the endpoint that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} is not an endpoint of {self!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Link)
+            and self.u == other.u
+            and self.v == other.v
+            and self.cls == other.cls
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.u, self.v, self.cls))
+
+    def __repr__(self) -> str:
+        return f"Link({self.u}, {self.v}, {self.cls.value})"
+
+
+class Topology:
+    """An immutable undirected multigraph-free switch topology.
+
+    Parameters
+    ----------
+    n:
+        Number of switches; nodes are ``0..n-1``.
+    links:
+        Iterable of ``Link`` or ``(u, v)`` / ``(u, v, LinkClass)`` tuples.
+        Duplicate links (same endpoints) are collapsed; the first class
+        tag wins. Self-loops are rejected.
+    name:
+        Human-readable name used in reports (e.g. ``"DSN-5-64"``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        links: Iterable[Link | tuple],
+        name: str = "topology",
+    ):
+        if n < 2:
+            raise ValueError(f"a topology needs at least 2 switches, got n={n}")
+        self.n = int(n)
+        self.name = name
+
+        seen: dict[tuple[int, int], Link] = {}
+        for item in links:
+            if isinstance(item, Link):
+                link = item
+            elif len(item) == 2:
+                link = Link(item[0], item[1])
+            else:
+                link = Link(item[0], item[1], item[2])
+            check_index("link endpoint", link.u, n)
+            check_index("link endpoint", link.v, n)
+            seen.setdefault(link.endpoints(), link)
+        self._links: tuple[Link, ...] = tuple(
+            sorted(seen.values(), key=lambda l: l.endpoints())
+        )
+
+        # Sorted neighbor lists double as the port map: the k-th neighbor
+        # of u sits on port k of switch u. Deterministic by construction.
+        neighbors: list[list[int]] = [[] for _ in range(n)]
+        for link in self._links:
+            neighbors[link.u].append(link.v)
+            neighbors[link.v].append(link.u)
+        self._neighbors: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(ns)) for ns in neighbors
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """All undirected links, canonically ordered."""
+        return self._links
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Sorted neighbors of ``node`` (also its port order)."""
+        check_index("node", node, self.n)
+        return self._neighbors[node]
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees."""
+        return np.array([len(ns) for ns in self._neighbors], dtype=np.int64)
+
+    @property
+    def average_degree(self) -> float:
+        return float(self.degrees.mean())
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max())
+
+    @property
+    def min_degree(self) -> int:
+        return int(self.degrees.min())
+
+    def degree_census(self) -> dict[int, int]:
+        """Map degree -> number of nodes with that degree."""
+        values, counts = np.unique(self.degrees, return_counts=True)
+        return {int(d): int(c) for d, c in zip(values, counts)}
+
+    def has_link(self, u: int, v: int) -> bool:
+        return v in self._neighbors[u]
+
+    def port_of(self, u: int, v: int) -> int:
+        """Port index on switch ``u`` that leads to neighbor ``v``."""
+        try:
+            return self._neighbors[u].index(v)
+        except ValueError:
+            raise ValueError(f"no link between {u} and {v} in {self.name}") from None
+
+    def links_of_class(self, cls: LinkClass) -> list[Link]:
+        return [l for l in self._links if l.cls is cls]
+
+    def link_class(self, u: int, v: int) -> LinkClass:
+        """Class of the link between ``u`` and ``v``."""
+        key = (u, v) if u < v else (v, u)
+        for link in self._links:
+            if link.endpoints() == key:
+                return link.cls
+        raise ValueError(f"no link between {u} and {v} in {self.name}")
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    @cached_property
+    def adjacency_csr(self) -> sp.csr_matrix:
+        """Sparse boolean adjacency matrix (symmetric)."""
+        rows, cols = [], []
+        for link in self._links:
+            rows += [link.u, link.v]
+            cols += [link.v, link.u]
+        data = np.ones(len(rows), dtype=np.int8)
+        return sp.csr_matrix((data, (rows, cols)), shape=(self.n, self.n))
+
+    def to_networkx(self) -> nx.Graph:
+        """Export to a :class:`networkx.Graph` with ``cls`` edge attributes."""
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from((l.u, l.v, {"cls": l.cls.value}) for l in self._links)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.Graph, name: str | None = None) -> "Topology":
+        """Import a networkx graph (nodes must be 0..n-1 integers).
+
+        Edge ``cls`` attributes round-trip with :meth:`to_networkx`;
+        edges without one default to :attr:`LinkClass.LOCAL`.
+        """
+        n = g.number_of_nodes()
+        if set(g.nodes) != set(range(n)):
+            raise ValueError("nodes must be the integers 0..n-1 (relabel first)")
+        links = [
+            Link(u, v, LinkClass(d.get("cls", "local")))
+            for u, v, d in g.edges(data=True)
+        ]
+        return cls(n, links, name=name or (g.name or "from-networkx"))
+
+    def is_connected(self) -> bool:
+        from scipy.sparse.csgraph import connected_components
+
+        count, _ = connected_components(self.adjacency_csr, directed=False)
+        return count == 1
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r}: n={self.n}, "
+            f"links={self.num_links}, avg_degree={self.average_degree:.2f}>"
+        )
+
+
+def directed_channels(topo: Topology) -> list[tuple[int, int]]:
+    """All directed channels ``(u, v)`` of a topology (two per link)."""
+    out: list[tuple[int, int]] = []
+    for link in topo.links:
+        out.append((link.u, link.v))
+        out.append((link.v, link.u))
+    return out

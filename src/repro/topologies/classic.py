@@ -1,0 +1,163 @@
+"""Classic low-degree, low-diameter topologies from the related work.
+
+Section III of the paper compares diameter-and-degree figures for
+shuffle-based and hierarchical designs: de Bruijn graphs ("12-and-4 for
+3,072 vertices"), Kautz graphs ("11-and-4"), and Cube Connected Cycles
+("23-and-3", constant degree 3). We implement them as undirected switch
+graphs so the same analysis pipeline (diameter / ASPL / cable length)
+runs over them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topologies.base import Link, LinkClass, Topology
+
+__all__ = [
+    "DeBruijnTopology",
+    "KautzTopology",
+    "CubeConnectedCyclesTopology",
+    "HypercubeTopology",
+    "HypernetTopology",
+]
+
+
+class DeBruijnTopology(Topology):
+    """Undirected de Bruijn graph B(b, k): ``b**k`` nodes.
+
+    Node ``u`` (a base-``b`` string of length ``k``) connects to its
+    left- and right-shifts; max degree ``2b`` before merging duplicates.
+    """
+
+    def __init__(self, b: int, k: int):
+        if b < 2 or k < 2:
+            raise ValueError(f"de Bruijn needs b >= 2 and k >= 2, got b={b}, k={k}")
+        self.b = b
+        self.k = k
+        n = b**k
+        links = []
+        for u in range(n):
+            for a in range(b):
+                v = (u * b + a) % n  # left shift, append symbol a
+                if u != v:
+                    links.append(Link(u, v, LinkClass.LOCAL))
+        super().__init__(n, links, name=f"DeBruijn-{b}-{k}")
+
+
+class KautzTopology(Topology):
+    """Undirected Kautz graph K(b, k): ``(b+1) * b**k`` nodes.
+
+    Nodes are strings ``s_0 s_1 ... s_k`` over ``b+1`` symbols with no two
+    consecutive symbols equal; edges connect ``s_0...s_k`` to
+    ``s_1...s_k a`` for every valid ``a``.
+    """
+
+    def __init__(self, b: int, k: int):
+        if b < 2 or k < 1:
+            raise ValueError(f"Kautz needs b >= 2 and k >= 1, got b={b}, k={k}")
+        self.b = b
+        self.k = k
+        symbols = range(b + 1)
+        nodes = []
+        for first in symbols:
+            for rest in itertools.product(symbols, repeat=k):
+                s = (first, *rest)
+                if all(s[i] != s[i + 1] for i in range(k)):
+                    nodes.append(s)
+        index = {s: i for i, s in enumerate(nodes)}
+        links = []
+        for s, u in index.items():
+            for a in symbols:
+                if a == s[-1]:
+                    continue
+                t = (*s[1:], a)
+                v = index[t]
+                if u != v:
+                    links.append(Link(u, v, LinkClass.LOCAL))
+        super().__init__(len(nodes), links, name=f"Kautz-{b}-{k}")
+
+
+class CubeConnectedCyclesTopology(Topology):
+    """CCC(k): each hypercube-Q_k corner replaced by a k-cycle; degree 3.
+
+    Node ``(w, i)`` with corner ``w in [0, 2^k)`` and cycle position
+    ``i in [0, k)`` links to ``(w, i±1 mod k)`` (cycle) and to
+    ``(w ^ (1 << i), i)`` (hypercube dimension i).
+    """
+
+    def __init__(self, k: int):
+        if k < 3:
+            raise ValueError(f"CCC needs k >= 3 for distinct cycle links, got {k}")
+        self.k = k
+        n = k * (1 << k)
+
+        def node_id(w: int, i: int) -> int:
+            return w * k + i
+
+        links = []
+        for w in range(1 << k):
+            for i in range(k):
+                u = node_id(w, i)
+                links.append(Link(u, node_id(w, (i + 1) % k), LinkClass.LOCAL))
+                links.append(Link(u, node_id(w ^ (1 << i), i), LinkClass.SHORTCUT))
+        super().__init__(n, links, name=f"CCC-{k}")
+
+
+class HypercubeTopology(Topology):
+    """Binary hypercube Q_k: ``2**k`` nodes, degree ``k``."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"hypercube needs k >= 1, got {k}")
+        self.k = k
+        n = 1 << k
+        links = [
+            Link(u, u ^ (1 << d), LinkClass.LOCAL)
+            for u in range(n)
+            for d in range(k)
+            if u < (u ^ (1 << d))
+        ]
+        super().__init__(n, links, name=f"Hypercube-{k}")
+
+
+class HypernetTopology(Topology):
+    """Simplified Hwang-Ghosh hypernet (the paper's ref [19]).
+
+    ``m`` hypercube subnets Q_k connected pairwise by one inter-subnet
+    link each (a complete graph at the subnet level). Inter-subnet
+    links are spread over distinct subnet nodes, so the degree stays
+    ``k + 1`` for the attachment nodes and ``k`` elsewhere -- the
+    low-degree, hierarchical structure the paper cites ("19-and-5 for
+    4,608 vertices" for the full construction). Requires
+    ``2**k >= m - 1`` attachment points per subnet.
+    """
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 2:
+            raise ValueError(f"hypernet needs k >= 1 subcube bits and m >= 2 subnets")
+        if (1 << k) < m - 1:
+            raise ValueError(
+                f"subnets of 2^{k} nodes cannot host {m - 1} inter-subnet links"
+            )
+        self.k = k
+        self.m = m
+        sub = 1 << k
+        n = m * sub
+
+        links: list[Link] = []
+        for s in range(m):
+            base = s * sub
+            for u in range(sub):
+                for d in range(k):
+                    v = u ^ (1 << d)
+                    if u < v:
+                        links.append(Link(base + u, base + v, LinkClass.LOCAL))
+        # Subnet s's link to subnet t attaches at node index chosen so
+        # each subnet uses distinct attachment points for its m-1 links.
+        for s in range(m):
+            for t in range(s + 1, m):
+                u = s * sub + (t - 1) % sub
+                v = t * sub + s % sub
+                links.append(Link(u, v, LinkClass.SHORTCUT))
+        super().__init__(n, links, name=f"Hypernet-{k}-{m}")

@@ -1,0 +1,65 @@
+"""Topology serialization: JSON save/load with integrity checksums.
+
+Lets experiments pin the exact random baseline they used (DLN-x-y and
+friends are seed-dependent) and lets external tools consume the
+topologies. The format is deliberately trivial::
+
+    {
+      "format": "repro-topology-v1",
+      "name": "DSN-5-64",
+      "n": 64,
+      "links": [[0, 1, "local"], [0, 16, "shortcut"], ...],
+      "sha256": "..."   # over the canonical link list
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.topologies.base import Link, LinkClass, Topology
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+_FORMAT = "repro-topology-v1"
+
+
+def _checksum(n: int, links: list[list]) -> str:
+    canon = json.dumps([n, links], separators=(",", ":")).encode()
+    return hashlib.sha256(canon).hexdigest()
+
+
+def topology_to_dict(topo: Topology) -> dict:
+    """Serialize a topology (links are canonically ordered already)."""
+    links = [[l.u, l.v, l.cls.value] for l in topo.links]
+    return {
+        "format": _FORMAT,
+        "name": topo.name,
+        "n": topo.n,
+        "links": links,
+        "sha256": _checksum(topo.n, links),
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Deserialize; verifies the format tag and checksum."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document (format={data.get('format')!r})")
+    links_raw = data["links"]
+    expect = data.get("sha256")
+    if expect is not None and _checksum(data["n"], links_raw) != expect:
+        raise ValueError("checksum mismatch: topology file corrupted or edited")
+    links = [Link(u, v, LinkClass(cls)) for u, v, cls in links_raw]
+    return Topology(data["n"], links, name=data.get("name", "loaded"))
+
+
+def save_topology(topo: Topology, path: str | Path) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(json.dumps(topology_to_dict(topo), indent=1))
+
+
+def load_topology(path: str | Path) -> Topology:
+    """Read a topology from a JSON file."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

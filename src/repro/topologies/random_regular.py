@@ -1,0 +1,49 @@
+"""Fully random regular topologies (Jellyfish-style, the paper's ref [9]).
+
+"Random topologies are generated either as fully random graphs [9] or by
+adding random shortcuts to classical topologies [3]" (Section I). The
+paper's RANDOM baseline is the latter (DLN-2-2); this module provides the
+former for the related-work comparisons in Section III and for wider
+sweeps in our extended experiments.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.topologies.base import Link, LinkClass, Topology
+from repro.util import make_rng
+
+__all__ = ["RandomRegularTopology"]
+
+
+class RandomRegularTopology(Topology):
+    """Uniform random d-regular graph on ``n`` switches.
+
+    Resampled until connected (for ``d >= 3`` almost every sample is).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        degree: int = 4,
+        seed: int | np.random.Generator | None = 0,
+        max_attempts: int = 50,
+    ):
+        if degree < 2:
+            raise ValueError(f"degree must be >= 2, got {degree}")
+        if (n * degree) % 2 != 0:
+            raise ValueError(f"n*degree must be even, got n={n}, degree={degree}")
+        self.degree_target = degree
+        rng = make_rng(seed)
+        for _ in range(max_attempts):
+            g = nx.random_regular_graph(degree, n, seed=int(rng.integers(0, 2**31 - 1)))
+            if nx.is_connected(g):
+                links = [Link(u, v, LinkClass.RANDOM) for u, v in g.edges()]
+                super().__init__(n, links, name=f"RandomRegular-{degree}-{n}")
+                return
+        raise RuntimeError(
+            f"no connected random {degree}-regular graph on {n} nodes "
+            f"after {max_attempts} attempts"
+        )

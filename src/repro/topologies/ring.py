@@ -1,0 +1,43 @@
+"""Ring and line (path) topologies.
+
+The ring is the substrate of every distributed-loop topology in the
+paper: DSN (Section IV-B), DLN-x and DLN-x-y (Section II) are all rings
+plus shortcuts. It is also the degenerate baseline with diameter
+``floor(n/2)``.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, LinkClass, Topology
+
+__all__ = ["RingTopology", "LineTopology", "ring_links"]
+
+
+def ring_links(n: int) -> list[Link]:
+    """The ``n`` LOCAL links ``(i, i+1 mod n)`` of an n-ring."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    return [Link(i, (i + 1) % n, LinkClass.LOCAL) for i in range(n)]
+
+
+class RingTopology(Topology):
+    """Cycle of ``n`` switches: node ``i`` links to ``i±1 (mod n)``."""
+
+    def __init__(self, n: int):
+        super().__init__(n, ring_links(n), name=f"Ring-{n}")
+
+    def succ(self, node: int) -> int:
+        """Clockwise neighbor (paper: the *succ* link)."""
+        return (node + 1) % self.n
+
+    def pred(self, node: int) -> int:
+        """Counter-clockwise neighbor (paper: the *pred* link)."""
+        return (node - 1) % self.n
+
+
+class LineTopology(Topology):
+    """Path of ``n`` switches: node ``i`` links to ``i+1`` (no wrap)."""
+
+    def __init__(self, n: int):
+        links = [Link(i, i + 1, LinkClass.LOCAL) for i in range(n - 1)]
+        super().__init__(n, links, name=f"Line-{n}")

@@ -1,0 +1,137 @@
+"""k-ary n-dimensional mesh and torus topologies.
+
+The 2-D torus is the paper's non-random baseline ("a counterpart 2-D
+torus ... with the same average degree", Sections VI-VII); the 3-D torus
+appears in the Section VI-B remark comparing a degree-6 DSN against it.
+Dimensions need not be equal: network sizes that are not perfect squares
+(e.g. 32, 128, 512, 2048) use the most-square factorization, matching
+how such sweeps are conventionally plotted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.topologies.base import Link, LinkClass, Topology
+from repro.util import is_power_of_two
+
+__all__ = ["TorusTopology", "MeshTopology", "balanced_dims"]
+
+
+def balanced_dims(n: int, ndims: int) -> tuple[int, ...]:
+    """Most-balanced integer factorization of ``n`` into ``ndims`` factors.
+
+    For power-of-two ``n`` this spreads the exponent as evenly as
+    possible (e.g. ``n=2048, ndims=2`` -> ``(64, 32)``); otherwise a
+    greedy divisor search is used. Factors are returned largest first.
+    """
+    if ndims < 1:
+        raise ValueError(f"ndims must be >= 1, got {ndims}")
+    if ndims == 1:
+        return (n,)
+    if is_power_of_two(n):
+        exp = n.bit_length() - 1
+        base, rem = divmod(exp, ndims)
+        exps = [base + (1 if i < rem else 0) for i in range(ndims)]
+        return tuple(sorted((2**e for e in exps), reverse=True))
+    # Greedy: peel off the divisor closest to the ndims-th root.
+    best: tuple[int, ...] | None = None
+    target = round(n ** (1.0 / ndims))
+    for d in sorted(range(2, n + 1), key=lambda d: abs(d - target)):
+        if n % d == 0:
+            rest = balanced_dims(n // d, ndims - 1)
+            best = tuple(sorted((d, *rest), reverse=True))
+            break
+    if best is None:  # n is prime: degenerate 1-wide dims
+        best = tuple(sorted((n, *([1] * (ndims - 1))), reverse=True))
+    return best
+
+
+def _grid_links(dims: Sequence[int], wrap: bool) -> list[Link]:
+    """LOCAL links between grid neighbors, plus WRAP links if ``wrap``."""
+    strides = [1] * len(dims)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+
+    def node_id(coord: Sequence[int]) -> int:
+        return sum(c * s for c, s in zip(coord, strides))
+
+    links: list[Link] = []
+    for coord in itertools.product(*(range(d) for d in dims)):
+        u = node_id(coord)
+        for axis, d in enumerate(dims):
+            if d == 1:
+                continue
+            c = list(coord)
+            if coord[axis] + 1 < d:
+                c[axis] = coord[axis] + 1
+                links.append(Link(u, node_id(c), LinkClass.LOCAL))
+            elif wrap and d > 2:
+                c[axis] = 0
+                links.append(Link(u, node_id(c), LinkClass.WRAP))
+    return links
+
+
+class _GridBase(Topology):
+    """Shared coordinate arithmetic for mesh and torus."""
+
+    def __init__(self, dims: Sequence[int], wrap: bool, name: str):
+        dims = tuple(int(d) for d in dims)
+        if any(d < 1 for d in dims):
+            raise ValueError(f"all dimensions must be >= 1, got {dims}")
+        n = 1
+        for d in dims:
+            n *= d
+        self.dims = dims
+        self._strides = [1] * len(dims)
+        for i in range(len(dims) - 2, -1, -1):
+            self._strides[i] = self._strides[i + 1] * dims[i + 1]
+        super().__init__(n, _grid_links(dims, wrap), name=name)
+
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        """Multi-dimensional coordinates of ``node`` (row-major ids)."""
+        coord = []
+        for s, d in zip(self._strides, self.dims):
+            coord.append((node // s) % d)
+        return tuple(coord)
+
+    def node_at(self, coord: Sequence[int]) -> int:
+        """Node id at ``coord``."""
+        if len(coord) != len(self.dims):
+            raise ValueError(f"expected {len(self.dims)} coordinates, got {len(coord)}")
+        for c, d in zip(coord, self.dims):
+            if not (0 <= c < d):
+                raise ValueError(f"coordinate {coord} out of bounds for dims {self.dims}")
+        return sum(c * s for c, s in zip(coord, self._strides))
+
+
+class TorusTopology(_GridBase):
+    """k-ary n-dim torus. ``TorusTopology.square(n, ndims)`` auto-factors."""
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(int(d) for d in dims)
+        name = f"Torus-{'x'.join(map(str, dims))}"
+        super().__init__(dims, wrap=True, name=name)
+
+    @classmethod
+    def square(cls, n: int, ndims: int = 2) -> "TorusTopology":
+        """Most-square ``ndims``-dimensional torus with ``n`` switches."""
+        return cls(balanced_dims(n, ndims))
+
+    def theoretical_diameter(self) -> int:
+        """Closed form: sum over dimensions of ``floor(d/2)`` (for d>2)."""
+        return sum(d // 2 for d in self.dims if d > 1)
+
+
+class MeshTopology(_GridBase):
+    """k-ary n-dim mesh (no wraparound links)."""
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(int(d) for d in dims)
+        name = f"Mesh-{'x'.join(map(str, dims))}"
+        super().__init__(dims, wrap=False, name=name)
+
+    def theoretical_diameter(self) -> int:
+        """Closed form: sum over dimensions of ``d - 1``."""
+        return sum(d - 1 for d in self.dims)

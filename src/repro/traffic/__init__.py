@@ -1,0 +1,35 @@
+"""Synthetic and application-shaped traffic for the simulator (Section VII-A)."""
+
+from repro.traffic.collectives import (
+    AllToAllTraffic,
+    ButterflyTraffic,
+    HaloExchangeTraffic,
+    RingAllreduceTraffic,
+    make_collective,
+)
+from repro.traffic.patterns import (
+    BitComplementTraffic,
+    BitReversalTraffic,
+    HotspotTraffic,
+    NeighboringTraffic,
+    TrafficPattern,
+    TransposeTraffic,
+    UniformTraffic,
+    make_pattern,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformTraffic",
+    "BitReversalTraffic",
+    "BitComplementTraffic",
+    "TransposeTraffic",
+    "NeighboringTraffic",
+    "HotspotTraffic",
+    "make_pattern",
+    "HaloExchangeTraffic",
+    "RingAllreduceTraffic",
+    "ButterflyTraffic",
+    "AllToAllTraffic",
+    "make_collective",
+]

@@ -1,0 +1,229 @@
+"""Synthetic traffic patterns (paper Section VII-A and standard extras).
+
+The paper evaluates three host-level patterns:
+
+* **uniform** -- destination drawn uniformly among all other hosts;
+* **bit-reversal** -- host ``b_{w-1}..b_0`` sends to ``b_0..b_{w-1}``
+  (a fixed permutation; requires a power-of-two host count);
+* **neighboring** -- 90 % of packets go to an adjacent host in a 2-D
+  array layout of the hosts, 10 % to uniform-random destinations
+  ("performance under heavy local accesses").
+
+Plus classic extras (Dally & Towles, paper ref [25]) used by the
+extended experiments: transpose, bit-complement, and hotspot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import bit_reverse, is_power_of_two, make_rng
+
+__all__ = [
+    "TrafficPattern",
+    "UniformTraffic",
+    "BitReversalTraffic",
+    "BitComplementTraffic",
+    "TransposeTraffic",
+    "NeighboringTraffic",
+    "HotspotTraffic",
+    "make_pattern",
+]
+
+
+class TrafficPattern:
+    """Destination generator over ``num_hosts`` hosts."""
+
+    name = "abstract"
+
+    def __init__(self, num_hosts: int):
+        if num_hosts < 2:
+            raise ValueError(f"need at least 2 hosts, got {num_hosts}")
+        self.num_hosts = num_hosts
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        """Destination host for one packet from ``src`` (never ``src``)."""
+        raise NotImplementedError
+
+    def _uniform_other(self, src: int, rng: np.random.Generator) -> int:
+        dst = int(rng.integers(self.num_hosts - 1))
+        return dst if dst < src else dst + 1
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random destinations."""
+
+    name = "uniform"
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        return self._uniform_other(src, rng)
+
+
+class _PermutationTraffic(TrafficPattern):
+    """Fixed-permutation patterns; self-mapped sources fall back to uniform.
+
+    ``group_size`` selects the addressing granularity: with the default
+    1 the permutation acts on host addresses; with
+    ``group_size = hosts_per_switch`` it acts on *switch* addresses and
+    each host sends to its same-offset counterpart at the permuted
+    switch. Interconnect studies (the paper included) define synthetic
+    permutations over network nodes, i.e. switches -- host-level
+    addressing would let the intra-switch offset bits leak into the
+    switch part of the destination and change which topology the
+    pattern stresses.
+    """
+
+    def __init__(self, num_hosts: int, group_size: int = 1):
+        super().__init__(num_hosts)
+        if group_size < 1 or num_hosts % group_size:
+            raise ValueError(
+                f"group_size {group_size} must divide num_hosts {num_hosts}"
+            )
+        self.group_size = group_size
+        self.num_groups = num_hosts // group_size
+
+    def _permute(self, group: int) -> int:
+        raise NotImplementedError
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        group, offset = divmod(src, self.group_size)
+        dst = self._permute(group) * self.group_size + offset
+        if dst == src:
+            return self._uniform_other(src, rng)
+        return dst
+
+
+class BitReversalTraffic(_PermutationTraffic):
+    """dst = bit-reverse(src) (paper Section VII-A)."""
+
+    name = "bit_reversal"
+
+    def __init__(self, num_hosts: int, group_size: int = 1):
+        super().__init__(num_hosts, group_size)
+        if not is_power_of_two(self.num_groups):
+            raise ValueError(
+                f"bit-reversal needs a power-of-two address count, got {self.num_groups}"
+            )
+        self.width = self.num_groups.bit_length() - 1
+
+    def _permute(self, group: int) -> int:
+        return bit_reverse(group, self.width)
+
+
+class BitComplementTraffic(_PermutationTraffic):
+    """dst = ~src (all address bits inverted)."""
+
+    name = "bit_complement"
+
+    def __init__(self, num_hosts: int, group_size: int = 1):
+        super().__init__(num_hosts, group_size)
+        if not is_power_of_two(self.num_groups):
+            raise ValueError(
+                f"bit-complement needs a power-of-two address count, got {self.num_groups}"
+            )
+        self.mask = self.num_groups - 1
+
+    def _permute(self, group: int) -> int:
+        return group ^ self.mask
+
+
+class TransposeTraffic(_PermutationTraffic):
+    """dst swaps the high and low halves of the address bits."""
+
+    name = "transpose"
+
+    def __init__(self, num_hosts: int, group_size: int = 1):
+        super().__init__(num_hosts, group_size)
+        if not is_power_of_two(self.num_groups):
+            raise ValueError(
+                f"transpose needs a power-of-two address count, got {self.num_groups}"
+            )
+        w = self.num_groups.bit_length() - 1
+        if w % 2:
+            raise ValueError(f"transpose needs an even address width, got {w} bits")
+        self.half = w // 2
+        self.low_mask = (1 << self.half) - 1
+
+    def _permute(self, group: int) -> int:
+        return ((group & self.low_mask) << self.half) | (group >> self.half)
+
+
+class NeighboringTraffic(TrafficPattern):
+    """90 % to an adjacent host in a 2-D array layout, 10 % uniform.
+
+    Hosts are arranged row-major in the most-square ``rows x cols``
+    array with ``rows * cols = num_hosts``; neighbors are the (up to 4)
+    array-adjacent hosts, chosen uniformly.
+    """
+
+    name = "neighboring"
+
+    def __init__(self, num_hosts: int, local_fraction: float = 0.9):
+        super().__init__(num_hosts)
+        if not (0.0 <= local_fraction <= 1.0):
+            raise ValueError(f"local_fraction must be in [0,1], got {local_fraction}")
+        self.local_fraction = local_fraction
+        from repro.topologies.torus import balanced_dims
+
+        self.rows, self.cols = balanced_dims(num_hosts, 2)
+        self._neighbors: list[tuple[int, ...]] = []
+        for h in range(num_hosts):
+            r, c = divmod(h, self.cols)
+            adj = []
+            if r > 0:
+                adj.append(h - self.cols)
+            if r < self.rows - 1:
+                adj.append(h + self.cols)
+            if c > 0:
+                adj.append(h - 1)
+            if c < self.cols - 1:
+                adj.append(h + 1)
+            self._neighbors.append(tuple(adj))
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        if rng.random() < self.local_fraction:
+            adj = self._neighbors[src]
+            return adj[int(rng.integers(len(adj)))]
+        return self._uniform_other(src, rng)
+
+
+class HotspotTraffic(TrafficPattern):
+    """A fraction of packets target a small set of hotspot hosts."""
+
+    name = "hotspot"
+
+    def __init__(self, num_hosts: int, hotspots: list[int] | None = None, fraction: float = 0.2):
+        super().__init__(num_hosts)
+        self.hotspots = hotspots or [0]
+        for h in self.hotspots:
+            if not (0 <= h < num_hosts):
+                raise ValueError(f"hotspot {h} out of range")
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        self.fraction = fraction
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        if rng.random() < self.fraction:
+            choices = [h for h in self.hotspots if h != src]
+            if choices:
+                return choices[int(rng.integers(len(choices)))]
+        return self._uniform_other(src, rng)
+
+
+_PATTERNS = {
+    "uniform": UniformTraffic,
+    "bit_reversal": BitReversalTraffic,
+    "bit_complement": BitComplementTraffic,
+    "transpose": TransposeTraffic,
+    "neighboring": NeighboringTraffic,
+    "hotspot": HotspotTraffic,
+}
+
+
+def make_pattern(name: str, num_hosts: int, **kwargs) -> TrafficPattern:
+    """Instantiate a pattern by name (see keys of ``_PATTERNS``)."""
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown traffic pattern {name!r}; know {sorted(_PATTERNS)}") from None
+    return cls(num_hosts, **kwargs)

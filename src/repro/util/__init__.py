@@ -1,0 +1,33 @@
+"""Shared low-level helpers: integer math, seeded RNG, tables, validation.
+
+These utilities are deliberately dependency-light; everything else in
+:mod:`repro` builds on them.
+"""
+
+from repro.util.intmath import (
+    bit_reverse,
+    ceil_div,
+    ilog2_ceil,
+    ilog2_floor,
+    is_power_of_two,
+    ring_distance,
+    clockwise_distance,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.util.validation import check_index, check_positive, check_range
+
+__all__ = [
+    "bit_reverse",
+    "ceil_div",
+    "ilog2_ceil",
+    "ilog2_floor",
+    "is_power_of_two",
+    "ring_distance",
+    "clockwise_distance",
+    "make_rng",
+    "format_table",
+    "check_index",
+    "check_positive",
+    "check_range",
+]

@@ -1,0 +1,77 @@
+"""Exact integer math used throughout topology construction and routing.
+
+The DSN construction (paper Section IV-B) is defined purely in terms of
+integer quantities -- ``p = floor(log2 n)``, shortcut spans ``ceil(n/2^l)``,
+clockwise ring distances -- so we avoid floating point entirely: a single
+``math.log2`` rounding error at, say, ``n = 2**k`` would silently shift
+every level assignment.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ilog2_floor",
+    "ilog2_ceil",
+    "is_power_of_two",
+    "ceil_div",
+    "bit_reverse",
+    "ring_distance",
+    "clockwise_distance",
+]
+
+
+def ilog2_floor(value: int) -> int:
+    """Return ``floor(log2(value))`` for a positive integer, exactly."""
+    if value <= 0:
+        raise ValueError(f"ilog2_floor requires a positive integer, got {value}")
+    return value.bit_length() - 1
+
+
+def ilog2_ceil(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer, exactly."""
+    if value <= 0:
+        raise ValueError(f"ilog2_ceil requires a positive integer, got {value}")
+    return (value - 1).bit_length()
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Return ``ceil(numerator / denominator)`` using integer arithmetic."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used by the bit-reversal traffic pattern (paper Section VII-A): host
+    ``b_{w-1} ... b_1 b_0`` sends to host ``b_0 b_1 ... b_{w-1}``.
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def ring_distance(a: int, b: int, n: int) -> int:
+    """Shortest (undirected) distance between ``a`` and ``b`` on an n-ring."""
+    d = (b - a) % n
+    return min(d, n - d)
+
+
+def clockwise_distance(a: int, b: int, n: int) -> int:
+    """Clockwise (id-increasing, mod n) distance from ``a`` to ``b``.
+
+    This is the distance metric of the DSN routing algorithm: shortcuts
+    only ever jump clockwise, so the algorithm reasons about
+    ``d_ut = (t - u) mod n``.
+    """
+    return (b - a) % n

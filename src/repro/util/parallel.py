@@ -1,0 +1,51 @@
+"""Optional process-level parallelism for experiment sweeps.
+
+Figure sweeps are embarrassingly parallel over network sizes, so the
+drivers route their maps through :func:`parallel_map`. Parallelism is
+*opt-in* (set ``REPRO_WORKERS`` to a worker count, or pass ``workers``)
+because the default serial path is deterministic, dependency-free and
+fast enough for the reduced benchmark configuration; the knob exists
+for full-scale sweeps on many-core machines.
+
+Worker functions must be picklable (module-level functions with
+picklable arguments) -- the drivers in :mod:`repro.experiments` are
+written that way.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (0/unset = serial)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_WORKERS", "0")))
+    except ValueError:
+        return 0
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally with a process pool.
+
+    Results keep input order. ``workers=None`` consults
+    ``REPRO_WORKERS``; ``workers in (0, 1)`` runs serially in-process.
+    """
+    items_list: Sequence[T] = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(items_list) <= 1:
+        return [fn(x) for x in items_list]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items_list))) as pool:
+        return list(pool.map(fn, items_list))

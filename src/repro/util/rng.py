@@ -1,0 +1,24 @@
+"""Deterministic random-number handling.
+
+Every stochastic component of the reproduction (random-shortcut
+topologies, traffic generators, the simulator's tie-breaking) takes an
+explicit seed so experiments are replayable; this module centralizes the
+conversion of "whatever the caller passed" into a ``numpy`` Generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an existing Generator (returned unchanged, so sub-components
+    can share one stream), an integer seed, or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,23 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+__all__ = ["check_positive", "check_range", "check_index"]
+
+
+def check_positive(name: str, value: int | float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_range(name: str, value: int | float, lo: int | float, hi: int | float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+def check_index(name: str, value: int, n: int) -> None:
+    """Raise ``ValueError`` unless ``0 <= value < n``."""
+    if not (0 <= value < n):
+        raise ValueError(f"{name} must be in [0, {n}), got {value}")

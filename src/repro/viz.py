@@ -1,0 +1,106 @@
+"""Terminal visualization: DSN structure diagrams and ASCII charts.
+
+Everything here renders to plain text so it works in any terminal and
+in pytest output:
+
+* :func:`dsn_ring_diagram` -- a Fig. 1-style view of the level
+  assignment and shortcut spans of a (small) DSN;
+* :func:`route_diagram` -- a route annotated with phases, the paper's
+  PRE-WORK / MAIN / FINISH walk made visible;
+* :func:`ascii_plot` -- a quick scatter/line plot for latency curves in
+  the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dsn import DSNTopology
+from repro.core.routing import RouteResult
+
+__all__ = ["dsn_ring_diagram", "route_diagram", "ascii_plot"]
+
+
+def dsn_ring_diagram(topo: DSNTopology, max_nodes: int = 40) -> str:
+    """Textual Fig. 1: one row per node with level bars and shortcuts.
+
+    Levels render as indentation (higher nodes -- longer shortcuts --
+    stick out further, like Fig. 1(a) turned sideways).
+    """
+    n = min(topo.n, max_nodes)
+    lines = [f"{topo.name}: p={topo.p}, x={topo.x}, r={topo.r} (first {n} nodes)"]
+    for v in range(n):
+        level = topo.level(v)
+        height = topo.height(v)
+        bar = "#" * height
+        sc = topo.shortcut_from(v)
+        sc_txt = f" --({topo.shortcut_span(v):>4})--> {sc}" if sc is not None else ""
+        marker = "|" if level > 1 else "+"  # super-node boundary
+        lines.append(f"{marker} {v:>4} L{level} {bar:<12}{sc_txt}")
+    if topo.n > max_nodes:
+        lines.append(f"... ({topo.n - max_nodes} more nodes)")
+    return "\n".join(lines)
+
+
+def route_diagram(topo: DSNTopology, route: RouteResult) -> str:
+    """Render a route with its phases and hop kinds."""
+    lines = [f"route {route.source} -> {route.dest} ({route.length} hops)"]
+    for hop in route.hops:
+        arrow = {
+            "pred": "<-",
+            "succ": "->",
+            "shortcut": "=>",
+            "up": "^-",
+            "extra": "x-",
+            "express": "»-",
+        }[hop.kind.value]
+        lines.append(
+            f"  [{hop.phase.value:8s}] {hop.src:>4} {arrow} {hop.dst:<4} "
+            f"(L{topo.level(hop.src)} -> L{topo.level(hop.dst)})"
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys_by_series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Minimal multi-series ASCII scatter plot.
+
+    Each series gets a marker character; points are clipped into a
+    ``width x height`` grid spanning the data range.
+    """
+    markers = "ox+*#@%&"
+    all_y = [y for ys in ys_by_series.values() for y in ys if y == y]
+    if not all_y or not xs:
+        raise ValueError("nothing to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(ys_by_series.items()):
+        m = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            if y != y:  # NaN
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = m
+
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{y_hi:8.1f} |" if i == 0 else (f"{y_lo:8.1f} |" if i == height - 1 else "         |")
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.2f}{x_label:^{max(width - 20, 0)}}{x_hi:>10.2f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(ys_by_series)
+    )
+    lines.append("          " + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)

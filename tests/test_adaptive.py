@@ -1,0 +1,59 @@
+"""Tests for Duato-style adaptive routing candidates."""
+
+import pytest
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.topologies import TorusTopology
+
+
+@pytest.fixture(scope="module")
+def routing():
+    return DuatoAdaptiveRouting(DSNTopology(64))
+
+
+class TestCandidates:
+    def test_adaptive_first_escape_last(self, routing):
+        cands = routing.candidates(0, 40, down_only=False)
+        kinds = [c.escape for c in cands]
+        assert kinds == sorted(kinds)  # False... then True...
+        assert any(c.escape for c in cands)
+        assert any(not c.escape for c in cands)
+
+    def test_adaptive_candidates_are_minimal(self, routing):
+        for s in range(0, 64, 7):
+            for t in range(0, 64, 5):
+                if s == t:
+                    continue
+                d = routing.table.distance(s, t)
+                for c in routing.candidates(s, t, down_only=False):
+                    if not c.escape:
+                        assert routing.table.distance(c.next_node, t) == d - 1
+
+    def test_down_only_restricts_escape(self, routing):
+        ud = routing.updown
+        for s in range(0, 64, 7):
+            for t in range(0, 64, 11):
+                if s == t:
+                    continue
+                for c in routing.candidates(s, t, down_only=True):
+                    if c.escape:
+                        assert not ud.is_up(s, c.next_node)
+
+    def test_empty_at_destination(self, routing):
+        assert routing.candidates(5, 5, down_only=False) == []
+
+    def test_escape_path_legal(self, routing):
+        p = routing.escape_path(3, 50)
+        assert p[0] == 3 and p[-1] == 50
+
+    def test_minimal_path(self, routing):
+        p = routing.minimal_path(3, 50)
+        assert len(p) - 1 == routing.table.distance(3, 50)
+
+
+class TestOnTorus:
+    def test_works_on_torus(self):
+        r = DuatoAdaptiveRouting(TorusTopology((4, 4)))
+        cands = r.candidates(0, 10, down_only=False)
+        assert len(cands) >= 2  # adaptivity: both dimensions productive

@@ -1,0 +1,80 @@
+"""Tests for graph metrics (diameter / ASPL / histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze,
+    average_shortest_path_length,
+    diameter,
+    eccentricities,
+    hop_histogram,
+    shortest_path_matrix,
+)
+from repro.core import DSNTopology
+from repro.topologies import RingTopology, Topology, TorusTopology
+
+
+def complete_graph(n):
+    return Topology(n, [(i, j) for i in range(n) for j in range(i + 1, n)], name=f"K{n}")
+
+
+class TestDistances:
+    def test_complete_graph(self):
+        k5 = complete_graph(5)
+        assert diameter(k5) == 1
+        assert average_shortest_path_length(k5) == 1.0
+
+    def test_ring_closed_forms(self):
+        # ring ASPL: mean of min(d, n-d) over d=1..n-1
+        for n in (6, 9, 12):
+            r = RingTopology(n)
+            expected = np.mean([min(d, n - d) for d in range(1, n)])
+            assert average_shortest_path_length(r) == pytest.approx(expected)
+            assert diameter(r) == n // 2
+
+    def test_matrix_symmetric_zero_diagonal(self):
+        t = DSNTopology(32)
+        d = shortest_path_matrix(t)
+        assert np.allclose(d, d.T)
+        assert np.all(np.diag(d) == 0)
+
+    def test_disconnected_raises(self):
+        t = Topology(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            diameter(t)
+        with pytest.raises(ValueError):
+            average_shortest_path_length(t)
+
+    def test_eccentricities(self):
+        r = RingTopology(8)
+        assert list(eccentricities(r)) == [4] * 8
+
+    def test_hop_histogram_counts_all_pairs(self):
+        t = TorusTopology((4, 4))
+        h = hop_histogram(t)
+        assert h.sum() == 16 * 15
+        assert h[0] == 0
+        assert h[1] == 16 * 4  # each node has 4 distance-1 partners
+
+
+class TestAnalyze:
+    def test_summary_fields(self):
+        m = analyze(DSNTopology(64))
+        assert m.name == "DSN-5-64"
+        assert m.n == 64
+        assert m.diameter == 6
+        assert m.aspl == pytest.approx(3.485, abs=0.01)
+        assert m.max_degree <= 5
+        assert len(m.row()) == 8
+
+    def test_paper_64switch_ordering(self):
+        """Fig. 8 at 64 switches: DSN and RANDOM beat torus."""
+        from repro.topologies import DLNRandomTopology
+
+        dsn = analyze(DSNTopology(64)).aspl
+        torus = analyze(TorusTopology((8, 8))).aspl
+        rnd = analyze(DLNRandomTopology(64, seed=0)).aspl
+        assert dsn < torus
+        assert rnd < torus
+        assert abs(dsn - rnd) < 0.6

@@ -1,0 +1,76 @@
+"""Tests for channel-load balance analysis (experiment E13 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import channel_loads, gini, load_stats
+from repro.topologies import RingTopology
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.array([5.0, 5.0, 5.0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini(v) > 0.9
+
+    def test_all_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=50))
+    def test_bounded(self, values):
+        g = gini(np.array(values))
+        assert -1e-9 <= g <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=2, max_size=50),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_scale_invariant(self, values, k):
+        v = np.array(values)
+        assert gini(v) == pytest.approx(gini(k * v), abs=1e-9)
+
+
+class TestChannelLoads:
+    def test_ring_shortest_paths(self):
+        """On a 4-ring with clockwise-only unit routes, each clockwise
+        channel carries exactly the routes passing over it."""
+        ring = RingTopology(4)
+
+        def clockwise_path(s, t):
+            path = [s]
+            u = s
+            while u != t:
+                u = (u + 1) % 4
+                path.append(u)
+            return path
+
+        loads = channel_loads(ring, clockwise_path)
+        # every ordered pair (12 of them) with clockwise walking:
+        # each cw channel carries sum over pairs crossing it = 1+2+3 = 6...
+        # by symmetry all 4 clockwise channels carry equal load
+        cw = [loads[(i, (i + 1) % 4)] for i in range(4)]
+        ccw = [loads[((i + 1) % 4, i)] for i in range(4)]
+        assert len(set(cw)) == 1
+        assert all(v == 0 for v in ccw)
+        assert sum(cw) == sum(len(clockwise_path(s, t)) - 1 for s in range(4) for t in range(4) if s != t)
+
+    def test_sampled_pairs(self):
+        ring = RingTopology(8)
+
+        def path(s, t):
+            return [s, (s + 1) % 8] if t != s else [s]
+
+        loads = channel_loads(ring, lambda s, t: path(s, t), sample=20, seed=1)
+        assert sum(loads.values()) == 20
+
+    def test_stats_row(self):
+        stats = load_stats({(0, 1): 4, (1, 0): 0, (1, 2): 8})
+        assert stats.max == 8
+        assert stats.mean == 4.0
+        assert stats.max_over_mean == 2.0
+        assert len(stats.row()) == 6

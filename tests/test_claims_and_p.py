@@ -1,0 +1,71 @@
+"""Tests for the claims registry and the super-node size override."""
+
+import pytest
+
+from repro.core import DSNTopology, dsn_route
+from repro.experiments import all_claims
+from repro.experiments.claims import ClaimResult, format_claims
+
+
+class TestClaimsRegistry:
+    def test_ids_unique_and_ordered(self):
+        claims = all_claims()
+        ids = [c.claim_id for c in claims]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids, key=lambda s: int(s[1:]))
+
+    def test_grades_valid(self):
+        for c in all_claims():
+            assert c.grade in ("EXACT", "SHAPE")
+            assert c.source and c.statement and c.paper_value
+
+    def test_cheap_claims_measurable(self):
+        """The graph-analysis claims (no simulation) run and pass."""
+        by_id = {c.claim_id: c for c in all_claims()}
+        for cid in ("C5", "C6", "C7", "C8"):
+            measured, ok = by_id[cid].measure()
+            assert ok, (cid, measured)
+
+    def test_format(self):
+        c = all_claims()[0]
+        out = format_claims([ClaimResult(claim=c, measured=0.75, ok=True)])
+        assert "PASS" in out and "C1" in out
+
+
+class TestSupernodeOverride:
+    def test_default_matches_natural(self):
+        assert DSNTopology(512).p == 9
+        assert DSNTopology(512, p=9).name == DSNTopology(512).name
+
+    def test_override_changes_name(self):
+        t = DSNTopology(512, p=7)
+        assert "(p=7)" in t.name
+        assert t.p == 7
+        assert t.x == 6
+
+    def test_levels_follow_override(self):
+        t = DSNTopology(256, p=12)
+        assert t.level(11) == 12
+        assert t.level(12) == 1
+        assert t.r == 256 % 12
+
+    def test_routing_works_with_override(self):
+        for p in (6, 12):
+            t = DSNTopology(256, p=p)
+            for s in range(0, 256, 17):
+                for d in range(0, 256, 19):
+                    dsn_route(t, s, d).validate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DSNTopology(256, p=1)
+        with pytest.raises(ValueError):
+            DSNTopology(256, p=129)
+
+    def test_degree_bounds_still_hold(self):
+        """Fact 1's degree-5 cap is a structural property independent of
+        the p choice."""
+        for p in (6, 9, 14):
+            t = DSNTopology(512, p=p)
+            assert t.max_degree <= 5
+            assert t.average_degree <= 4.0 + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for the related-work topologies (Section III comparators)."""
+
+import pytest
+
+from repro.analysis import diameter
+from repro.topologies import (
+    CubeConnectedCyclesTopology,
+    DeBruijnTopology,
+    HypercubeTopology,
+    KautzTopology,
+    KleinbergTopology,
+    RandomRegularTopology,
+    greedy_route,
+)
+
+
+class TestDeBruijn:
+    def test_size(self):
+        t = DeBruijnTopology(2, 4)
+        assert t.n == 16
+
+    def test_degree_bound(self):
+        t = DeBruijnTopology(2, 5)
+        assert t.max_degree <= 4  # 2b, minus merged self-shift duplicates
+
+    def test_diameter_equals_k(self):
+        # Directed de Bruijn has diameter k; undirected is <= k.
+        t = DeBruijnTopology(2, 5)
+        assert diameter(t) <= 5
+
+    def test_connected(self):
+        assert DeBruijnTopology(3, 3).is_connected()
+
+
+class TestKautz:
+    def test_size(self):
+        # (b+1) * b^k nodes
+        t = KautzTopology(2, 3)
+        assert t.n == 3 * 2**3
+
+    def test_diameter_le_string_length(self):
+        # vertices are strings s_0..s_k (length k+1), so the directed --
+        # and hence undirected -- diameter is at most k+1
+        assert diameter(KautzTopology(2, 3)) <= 4
+
+    def test_connected(self):
+        assert KautzTopology(2, 4).is_connected()
+
+
+class TestCCC:
+    def test_size_and_constant_degree(self):
+        t = CubeConnectedCyclesTopology(3)
+        assert t.n == 3 * 8
+        assert t.degree_census() == {3: 24}
+
+    def test_connected(self):
+        assert CubeConnectedCyclesTopology(4).is_connected()
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            CubeConnectedCyclesTopology(2)
+
+
+class TestHypercube:
+    def test_structure(self):
+        t = HypercubeTopology(4)
+        assert t.n == 16
+        assert t.degree_census() == {4: 16}
+        assert diameter(t) == 4
+
+
+class TestRandomRegular:
+    def test_connected_regular(self):
+        t = RandomRegularTopology(50, 4, seed=0)
+        assert t.degree_census() == {4: 50}
+        assert t.is_connected()
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            RandomRegularTopology(9, 3, seed=0)
+
+
+class TestKleinberg:
+    def test_construction(self):
+        t = KleinbergTopology(6, q=1, seed=0)
+        assert t.n == 36
+        assert t.is_connected()
+
+    def test_lattice_distance(self):
+        t = KleinbergTopology(5, q=0, seed=0)
+        assert t.lattice_distance(0, 24) == 8  # corner to corner on 5x5
+
+    def test_greedy_route_reaches(self):
+        t = KleinbergTopology(8, q=1, seed=1)
+        path = greedy_route(t, 0, t.n - 1)
+        assert path[0] == 0 and path[-1] == t.n - 1
+        # each step strictly decreases lattice distance
+        dists = [t.lattice_distance(u, t.n - 1) for u in path]
+        assert all(a > b for a, b in zip(dists, dists[1:]))
+
+    def test_greedy_trivial(self):
+        t = KleinbergTopology(4, q=0, seed=0)
+        assert greedy_route(t, 5, 5) == [5]
+
+    def test_q0_is_plain_grid(self):
+        t = KleinbergTopology(4, q=0, seed=0)
+        assert t.num_links == 2 * 4 * 3  # mesh links only
+
+
+class TestHypernet:
+    def test_size_and_degree(self):
+        from repro.topologies import HypernetTopology
+
+        t = HypernetTopology(4, 8)
+        assert t.n == 8 * 16
+        # attachment nodes carry one extra inter-subnet link
+        assert t.max_degree == 5
+        assert t.min_degree == 4
+
+    def test_connected_and_low_diameter(self):
+        from repro.analysis import diameter
+        from repro.topologies import HypernetTopology
+
+        t = HypernetTopology(4, 8)
+        assert t.is_connected()
+        # <= intra (k) + 1 inter + intra (k) with slack for attachment walks
+        assert diameter(t) <= 2 * 4 + 2
+
+    def test_rejects_too_many_subnets(self):
+        from repro.topologies import HypernetTopology
+
+        with pytest.raises(ValueError):
+            HypernetTopology(2, 8)  # 4-node subnets cannot host 7 links

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(["fig7", "--sizes", "32,64"])
+        assert args.sizes == (32, 64)
+
+    def test_loads_parsing(self):
+        args = build_parser().parse_args(["fig10", "--loads", "1,2.5"])
+        assert args.loads == (1.0, 2.5)
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_info_dsn(self, capsys):
+        main(["info", "64"])
+        out = capsys.readouterr().out
+        assert "DSN-5-64" in out
+        assert "p=6" in out
+        assert "routing <= 22" in out
+
+    def test_info_other_kind(self, capsys):
+        main(["info", "64", "--kind", "torus"])
+        out = capsys.readouterr().out
+        assert "Torus-8x8" in out
+        assert "DSN parameters" not in out
+
+    def test_fig7(self, capsys):
+        main(["fig7", "--sizes", "32,64"])
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "64" in out
+
+    def test_fig8(self, capsys):
+        main(["fig8", "--sizes", "32"])
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        main(["fig9", "--sizes", "32,64"])
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_theory_all_ok(self, capsys):
+        main(["theory", "--sizes", "32,64"])
+        out = capsys.readouterr().out
+        assert "all bounds hold" in out
+        assert "VIOLATION" not in out
+
+    def test_balance(self, capsys):
+        main(["balance", "--n", "32"])
+        out = capsys.readouterr().out
+        assert "up*/down*" in out
+
+    def test_fig10_quick(self, capsys):
+        main(["fig10", "--loads", "2", "--n", "16"])
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "uniform" in out
+
+    def test_robustness(self, capsys):
+        main(["robustness", "--n", "64", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert "Bisection" in out and "Link-failure" in out

@@ -1,0 +1,92 @@
+"""Tests for the collective/stencil traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    AllToAllTraffic,
+    ButterflyTraffic,
+    HaloExchangeTraffic,
+    RingAllreduceTraffic,
+    make_collective,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestHaloExchange:
+    def test_cycles_through_neighbors(self):
+        p = HaloExchangeTraffic(64)
+        interior = p.cols + 1  # an interior rank
+        seq = [p.destination(interior, RNG) for _ in range(8)]
+        assert seq[:4] == seq[4:]  # round-robin period 4
+        assert len(set(seq[:4])) == 4
+
+    def test_neighbors_are_grid_adjacent(self):
+        p = HaloExchangeTraffic(64)
+        for h in range(64):
+            r, c = divmod(h, p.cols)
+            for d in {p.destination(h, RNG) for _ in range(4)}:
+                dr, dc = divmod(d, p.cols)
+                assert abs(dr - r) + abs(dc - c) == 1
+
+    def test_corner_rank_has_two_neighbors(self):
+        p = HaloExchangeTraffic(64)
+        dsts = {p.destination(0, RNG) for _ in range(6)}
+        assert len(dsts) == 2
+
+
+class TestRingAllreduce:
+    def test_always_next_rank(self):
+        p = RingAllreduceTraffic(16)
+        for h in range(16):
+            assert p.destination(h, RNG) == (h + 1) % 16
+            assert p.destination(h, RNG) == (h + 1) % 16
+
+
+class TestButterfly:
+    def test_stage_partners(self):
+        p = ButterflyTraffic(16)
+        seq = [p.destination(5, RNG) for _ in range(4)]
+        assert seq == [5 ^ 1, 5 ^ 2, 5 ^ 4, 5 ^ 8]
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ButterflyTraffic(24)
+
+
+class TestAllToAll:
+    def test_covers_everyone_without_self(self):
+        p = AllToAllTraffic(8)
+        dsts = [p.destination(3, RNG) for _ in range(7)]
+        assert sorted(dsts) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_staggered_start(self):
+        """Rank p starts at p+1: no two ranks hit the same destination
+        in the same step (the congestion-avoiding schedule)."""
+        p = AllToAllTraffic(8)
+        first = [p.destination(src, RNG) for src in range(8)]
+        assert len(set(first)) == 8
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["halo_exchange", "ring_allreduce", "butterfly", "all_to_all"])
+    def test_make(self, name):
+        assert make_collective(name, 64).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_collective("barrier", 64)
+
+
+class TestInSimulator:
+    def test_halo_exchange_simulates(self):
+        from repro.core import DSNTopology
+        from repro.routing import DuatoAdaptiveRouting
+        from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig
+
+        cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000)
+        topo = DSNTopology(16)
+        ad = AdaptiveEscapeAdapter(DuatoAdaptiveRouting(topo), 4, np.random.default_rng(0))
+        r = NetworkSimulator(topo, ad, HaloExchangeTraffic(64), 4.0, cfg).run()
+        assert r.delivered_fraction == 1.0

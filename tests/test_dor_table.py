@@ -1,0 +1,107 @@
+"""Tests for dimension-order routing and minimal routing tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import ShortestPathTable, assert_deadlock_free, build_cdg, find_cycle
+from repro.routing.dor import dor_channels, dor_next_hop, dor_path
+from repro.core import DSNTopology
+from repro.topologies import MeshTopology, TorusTopology
+
+
+class TestDOR:
+    def test_path_length_is_manhattan(self):
+        t = TorusTopology((6, 6))
+        for s in range(0, 36, 5):
+            for d in range(0, 36, 7):
+                if s == d:
+                    continue
+                cs, cd = t.coordinates(s), t.coordinates(d)
+                expected = sum(min((a - b) % k, (b - a) % k) for a, b, k in zip(cs, cd, t.dims))
+                assert len(dor_path(t, s, d)) - 1 == expected
+
+    def test_mesh_path(self):
+        m = MeshTopology((4, 4))
+        p = dor_path(m, 0, 15)
+        assert len(p) - 1 == 6
+
+    def test_dimension_order_respected(self):
+        t = TorusTopology((4, 4))
+        p = dor_path(t, 0, 10)
+        # first hops correct dim 0, later dim 1 -- axis changes only once
+        axes = []
+        for a, b in zip(p, p[1:]):
+            ca, cb = t.coordinates(a), t.coordinates(b)
+            axes.append(0 if ca[0] != cb[0] else 1)
+        assert axes == sorted(axes)
+
+    def test_next_hop_errors_at_dest(self):
+        t = TorusTopology((4, 4))
+        with pytest.raises(ValueError):
+            dor_next_hop(t, 3, 3)
+
+    def test_torus_2vc_dateline_acyclic(self):
+        t = TorusTopology((4, 8))
+        routes = [
+            dor_channels(t, s, d) for s in range(t.n) for d in range(t.n) if s != d
+        ]
+        assert_deadlock_free(routes)
+
+    def test_torus_1vc_cyclic(self):
+        t = TorusTopology((4, 4))
+        routes = [
+            [(a, b, "one") for a, b, _ in dor_channels(t, s, d)]
+            for s in range(t.n)
+            for d in range(t.n)
+            if s != d
+        ]
+        assert find_cycle(build_cdg(routes)) is not None
+
+    def test_mesh_single_vc_acyclic(self):
+        m = MeshTopology((4, 4))
+        routes = [
+            dor_channels(m, s, d) for s in range(m.n) for d in range(m.n) if s != d
+        ]
+        assert_deadlock_free(routes)
+
+
+class TestShortestPathTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return ShortestPathTable(DSNTopology(64))
+
+    def test_next_hops_reduce_distance(self, table):
+        n = table.topo.n
+        for s in range(0, n, 5):
+            for t in range(0, n, 3):
+                if s == t:
+                    continue
+                for v in table.next_hops(s, t):
+                    assert table.distance(v, t) == table.distance(s, t) - 1
+
+    def test_path_is_minimal(self, table):
+        for s in range(0, 64, 7):
+            for t in range(0, 64, 9):
+                p = table.path(s, t)
+                assert len(p) - 1 == table.distance(s, t)
+
+    def test_randomized_path_still_minimal(self, table):
+        p = table.path(0, 40, seed=5)
+        assert len(p) - 1 == table.distance(0, 40)
+
+    def test_next_hops_empty_at_dest(self, table):
+        assert table.next_hops(3, 3) == []
+
+    def test_path_count_positive_and_symmetricish(self):
+        t = ShortestPathTable(TorusTopology((4, 4)))
+        counts = t.path_count_matrix()
+        assert (counts > 0).all()
+        # torus symmetry: counts depend only on the coordinate offset
+        assert counts[0, 5] == counts[5, 0]
+
+    def test_path_count_known_torus(self):
+        t = ShortestPathTable(TorusTopology((4, 4)))
+        counts = t.path_count_matrix()
+        # (0,0) -> (1,1): two minimal orders (x-then-y, y-then-x)
+        assert counts[0, 5] == 2

@@ -1,0 +1,177 @@
+"""Tests for the basic DSN-x-n construction (Section IV-B, Fact 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DSNTopology, dsn_theory
+from repro.topologies import LinkClass
+from repro.util import ceil_div, ilog2_ceil
+
+
+class TestParameters:
+    def test_paper_fig4_parameters(self):
+        """Fig. 4 caption: n=1024 gives p=10, r=4."""
+        t = DSNTopology(1024)
+        assert t.p == 10 and t.r == 4
+
+    def test_paper_section_vc_example(self):
+        """Section V-C: DSN-10-1020 has super nodes of size 10."""
+        t = DSNTopology(1020)
+        assert t.p == 10
+        assert t.r == 0
+
+    def test_default_x(self):
+        t = DSNTopology(64)
+        assert t.x == t.p - 1 == 5
+        assert t.name == "DSN-5-64"
+
+    def test_x_validation(self):
+        with pytest.raises(ValueError):
+            DSNTopology(64, x=0)
+        with pytest.raises(ValueError):
+            DSNTopology(64, x=6)  # p-1 = 5
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            DSNTopology(8)
+
+
+class TestLevels:
+    def test_periodic_assignment(self):
+        t = DSNTopology(32)
+        # level i assigned to nodes k*p + i - 1
+        for k in range(t.n // t.p):
+            for i in range(1, t.p + 1):
+                assert t.level(k * t.p + i - 1) == i
+
+    def test_height_complements_level(self):
+        t = DSNTopology(64)
+        for v in range(t.n):
+            assert t.level(v) + t.height(v) == t.p + 1
+
+    def test_tail_levels(self):
+        t = DSNTopology(1024)  # r = 4
+        for i, v in enumerate(range(1020, 1024)):
+            assert t.level(v) == i + 1
+
+
+class TestShortcuts:
+    def test_only_levels_up_to_x_have_shortcuts(self):
+        t = DSNTopology(128, x=4)
+        for v in range(t.n):
+            if t.level(v) <= t.x:
+                assert t.shortcut_from(v) is not None
+            else:
+                assert t.shortcut_from(v) is None
+
+    def test_shortcut_target_level_and_span(self):
+        """Level-l shortcut lands on a level-(l+1) node at clockwise
+        distance >= ceil(n/2^l) (Section IV-B bullet 3)."""
+        for n in (32, 64, 100, 250):
+            t = DSNTopology(n)
+            for v in range(n):
+                w = t.shortcut_from(v)
+                if w is None:
+                    continue
+                l = t.level(v)
+                assert t.level(w) == l + 1
+                span = t.shortcut_span(v)
+                assert span >= ceil_div(n, 2**l)
+                # minimality: no closer level-(l+1) node at or beyond the span
+                for d in range(ceil_div(n, 2**l), span):
+                    assert t.level((v + d) % n) != l + 1
+
+    def test_lowest_level_shortcut_shape(self):
+        """Section V-B: the shortest shortcuts are (i, i+p+1)."""
+        n = 1024
+        t = DSNTopology(n)
+        for v in range(n):
+            if t.level(v) == t.p - 1 and t.shortcut_from(v) is not None:
+                if v < n - 2 * t.p:  # away from the incomplete tail
+                    assert t.shortcut_span(v) == t.p + 1
+
+    def test_level1_jumps_half_ring(self):
+        t = DSNTopology(256)
+        for v in range(t.n):
+            if t.level(v) == 1:
+                assert t.shortcut_span(v) >= t.n // 2
+
+    def test_incoming_shortcuts_bounded(self):
+        t = DSNTopology(250)
+        for v in range(t.n):
+            assert len(t.incoming_shortcuts(v)) <= 2
+
+
+class TestDegreesFact1:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=16, max_value=3000), st.data())
+    def test_fact1_bounds(self, n, data):
+        p = ilog2_ceil(n)
+        x = data.draw(st.integers(min_value=1, max_value=p - 1))
+        t = DSNTopology(n, x=x)
+        th = dsn_theory(n, x)
+        assert t.max_degree <= th.max_degree_bound
+        assert t.average_degree <= th.average_degree_bound + 1e-9
+        assert t.degree_census().get(5, 0) <= th.max_degree5_nodes
+        assert t.min_degree >= 2
+
+    def test_full_x_min_degree_3(self):
+        """For x = p-1 every node touches at least one shortcut."""
+        t = DSNTopology(512)
+        assert t.min_degree >= 3
+
+    def test_typical_degree_is_4(self):
+        t = DSNTopology(1024)
+        census = t.degree_census()
+        assert max(census, key=census.get) == 4
+
+
+class TestStructure:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=16, max_value=2048))
+    def test_connected(self, n):
+        assert DSNTopology(n).is_connected()
+
+    def test_super_nodes(self):
+        t = DSNTopology(1024)
+        assert t.num_super_nodes == 103  # 102 full + 1 incomplete
+        assert list(t.super_node_members(0)) == list(range(10))
+        assert list(t.super_node_members(102)) == [1020, 1021, 1022, 1023]
+        assert t.super_node(25) == 2
+        with pytest.raises(ValueError):
+            t.super_node_members(103)
+
+    def test_collapsing_supernodes_gives_dln(self):
+        """Fig. 1(c): collapsing super nodes yields a DLN-x super graph --
+        every full super node owns exactly one shortcut of each level."""
+        t = DSNTopology(1020)  # r = 0: all super nodes complete
+        for k in range(t.num_super_nodes):
+            levels = sorted(
+                t.level(v) for v in t.super_node_members(k) if t.shortcut_from(v) is not None
+            )
+            assert levels == list(range(1, t.x + 1))
+
+    def test_ring_links_present(self):
+        t = DSNTopology(64)
+        locals_ = t.links_of_class(LinkClass.LOCAL)
+        assert len(locals_) == 64
+
+
+class TestRequiredLevel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=16, max_value=4096), st.data())
+    def test_definition(self, n, data):
+        """required_level(d) = l with n/2^l < d <= n/2^(l-1)."""
+        t = DSNTopology(max(n, 16))
+        d = data.draw(st.integers(min_value=1, max_value=t.n))
+        l = t.required_level(d)
+        assert t.n / 2**l < d or d == t.n  # strict lower edge
+        assert d <= t.n / 2 ** (l - 1)
+
+    def test_rejects_bad_distance(self):
+        t = DSNTopology(64)
+        with pytest.raises(ValueError):
+            t.required_level(0)
+        with pytest.raises(ValueError):
+            t.required_level(65)

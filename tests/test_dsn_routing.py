@@ -1,0 +1,196 @@
+"""Tests for DSN-Routing (Fig. 2; Facts 2-3; Theorem 2(a); Section V-D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DSNTopology, dsn_route, dsn_theory, route_all_pairs
+from repro.core.routing import HopKind, Phase
+
+
+def exhaustive_routes(topo, **kw):
+    return [dsn_route(topo, s, t, **kw) for s in range(topo.n) for t in range(topo.n) if s != t]
+
+
+class TestBasicValidity:
+    def test_trivial_route(self):
+        t = DSNTopology(64)
+        r = dsn_route(t, 5, 5)
+        assert r.length == 0 and r.path == [5]
+
+    def test_rejects_bad_nodes(self):
+        t = DSNTopology(64)
+        with pytest.raises(ValueError):
+            dsn_route(t, -1, 5)
+        with pytest.raises(ValueError):
+            dsn_route(t, 0, 64)
+
+    @pytest.mark.parametrize("n", [16, 32, 64, 100])
+    def test_exhaustive_delivery(self, n):
+        topo = DSNTopology(n)
+        for r in exhaustive_routes(topo):
+            r.validate()
+
+    def test_hops_traverse_real_links(self):
+        topo = DSNTopology(64)
+        for r in exhaustive_routes(topo)[:500]:
+            for h in r.hops:
+                assert topo.has_link(h.src, h.dst), h
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=16, max_value=1500), st.data())
+    def test_random_instances_deliver(self, n, data):
+        topo = DSNTopology(n)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        r = dsn_route(topo, s, t)
+        r.validate()
+        assert r.length <= dsn_theory(n).routing_diameter_bound
+
+
+class TestBounds:
+    @pytest.mark.parametrize("n", [16, 32, 64, 100, 250])
+    def test_fact2_routing_diameter(self, n):
+        """Fact 2: path length <= 3p + r for x > p - log p."""
+        topo = DSNTopology(n)
+        th = dsn_theory(n)
+        assert th.fact2_applies
+        worst = max(r.length for r in exhaustive_routes(topo))
+        assert worst <= th.routing_diameter_bound
+
+    @pytest.mark.parametrize("n", [64, 100])
+    def test_theorem2a_expected_length(self, n):
+        """Theorem 2(a): E[routing path] <= 2p over uniform pairs."""
+        topo = DSNTopology(n)
+        routes = exhaustive_routes(topo)
+        mean = sum(r.length for r in routes) / len(routes)
+        assert mean <= dsn_theory(n).expected_routing_length_bound
+
+    def test_overshoot_bounded(self):
+        """Section IV-C: the FINISH pred-walk covers at most p + r."""
+        n = 100
+        topo = DSNTopology(n)
+        th = dsn_theory(n)
+        for r in exhaustive_routes(topo):
+            finish_preds = sum(
+                1 for h in r.hops if h.phase is Phase.FINISH and h.kind is HopKind.PRED
+            )
+            assert finish_preds <= th.overshoot_bound
+
+
+class TestPhaseStructure:
+    def test_phase_order(self):
+        """Hops always appear in PRE-WORK -> MAIN -> FINISH order."""
+        order = {Phase.PREWORK: 0, Phase.MAIN: 1, Phase.FINISH: 2}
+        topo = DSNTopology(64)
+        for r in exhaustive_routes(topo):
+            seq = [order[h.phase] for h in r.hops]
+            assert seq == sorted(seq), r
+
+    def test_prework_uses_pred_only(self):
+        topo = DSNTopology(64)
+        for r in exhaustive_routes(topo):
+            for h in r.hops:
+                if h.phase is Phase.PREWORK:
+                    assert h.kind is HopKind.PRED
+
+    def test_main_uses_succ_and_shortcut_only(self):
+        topo = DSNTopology(64)
+        for r in exhaustive_routes(topo):
+            for h in r.hops:
+                if h.phase is Phase.MAIN:
+                    assert h.kind in (HopKind.SUCC, HopKind.SHORTCUT)
+
+    def test_main_level_monotone_when_no_tail(self):
+        """Within MAIN the level only increases (the Fact 2 invariant and
+        the Theorem 3 no-cycle argument for the Succ/Shortcut group).
+        Strict monotonicity needs r = 0; an incomplete tail super node
+        resets levels mid-walk (the Section IV-C pathology), which is
+        why n is chosen as a multiple of p here."""
+        topo = DSNTopology(112)  # p = 7, r = 0
+        assert topo.r == 0
+        for r in exhaustive_routes(topo):
+            levels = [topo.level(h.src) for h in r.hops if h.phase is Phase.MAIN]
+            assert levels == sorted(levels), r
+
+    def test_main_level_resets_confined_to_tail(self):
+        """With r > 0 any MAIN level reset happens while crossing the
+        incomplete tail super node, never elsewhere."""
+        topo = DSNTopology(100)  # p = 7, r = 2
+        tail_start = (topo.num_super_nodes - 1) * topo.p
+        for r in exhaustive_routes(topo):
+            main = [h for h in r.hops if h.phase is Phase.MAIN]
+            for a, b in zip(main, main[1:]):
+                if topo.level(b.src) < topo.level(a.src):
+                    assert a.src >= tail_start or a.src < topo.p, (r.source, r.dest)
+
+    def test_shortcut_halves_distance(self):
+        """Every shortcut taken in MAIN at least halves the remaining
+        clockwise distance or overshoots terminally."""
+        topo = DSNTopology(128)
+        n = topo.n
+        for r in exhaustive_routes(topo):
+            for h in r.hops:
+                if h.kind is not HopKind.SHORTCUT:
+                    continue
+                d_before = (r.dest - h.src) % n
+                d_after = (r.dest - h.dst) % n
+                jumped = (h.dst - h.src) % n
+                if jumped <= d_before:
+                    assert d_after <= d_before / 2 + topo.p + topo.r
+
+
+class TestAvoidOvershoot:
+    @pytest.mark.parametrize("n", [32, 64, 100])
+    def test_valid_and_bounded(self, n):
+        topo = DSNTopology(n)
+        th = dsn_theory(n)
+        for r in exhaustive_routes(topo, avoid_overshoot=True):
+            r.validate()
+            assert r.length <= th.routing_diameter_bound + th.p
+
+    def test_reduces_finish_pred_walks(self):
+        """Section V-D: the twist trades FINISH pred hops for MAIN hops.
+        n = 128 (r > 0) actually produces overshoots; power-of-two sizes
+        with exact spans barely overshoot at all."""
+        topo = DSNTopology(128)
+        pairs = [(s, t) for s in range(128) for t in range(128) if s != t]
+        basic_preds = ext_preds = 0
+        for s, t in pairs:
+            b = dsn_route(topo, s, t)
+            a = dsn_route(topo, s, t, avoid_overshoot=True)
+            basic_preds += sum(
+                1 for h in b.hops if h.phase is Phase.FINISH and h.kind is HopKind.PRED
+            )
+            ext_preds += sum(
+                1 for h in a.hops if h.phase is Phase.FINISH and h.kind is HopKind.PRED
+            )
+        assert ext_preds < basic_preds
+
+
+class TestRouteResult:
+    def test_phase_and_kind_counters(self):
+        topo = DSNTopology(64)
+        r = dsn_route(topo, 3, 40)
+        assert r.phase_length(Phase.PREWORK) + r.phase_length(Phase.MAIN) + r.phase_length(
+            Phase.FINISH
+        ) == r.length
+        assert sum(r.kind_count(k) for k in HopKind) == r.length
+
+    def test_route_all_pairs_generator(self):
+        topo = DSNTopology(16)
+        routes = list(route_all_pairs(topo))
+        assert len(routes) == 16 * 15
+
+    def test_route_all_pairs_subset(self):
+        topo = DSNTopology(16)
+        routes = list(route_all_pairs(topo, pairs=[(0, 5), (5, 0)]))
+        assert len(routes) == 2
+        assert routes[0].dest == 5
+
+    def test_validate_catches_corruption(self):
+        topo = DSNTopology(16)
+        r = dsn_route(topo, 0, 5)
+        r.hops.pop()
+        with pytest.raises(AssertionError):
+            r.validate()

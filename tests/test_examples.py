@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are user-facing documentation; a broken one is a broken
+deliverable. Each runs in a subprocess with a small argument where the
+script accepts one.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "32")
+        assert "DSN-4-32" in out and "route" in out
+
+    def test_topology_comparison_small(self):
+        out = run_example("topology_comparison.py")
+        assert "Figure 7" in out and "Figure 9" in out
+
+    def test_deadlock_analysis(self):
+        out = run_example("deadlock_analysis.py", "32")
+        assert "DEADLOCK RISK" in out
+        assert "acyclic = True" in out
+
+    def test_layout_planner(self):
+        out = run_example("layout_planner.py", "128")
+        assert "Cabling bill of materials" in out
+
+    def test_flexible_growth(self):
+        out = run_example("flexible_growth.py")
+        assert "1020" in out and "growing the machine" in out
+
+    def test_switching_modes(self):
+        out = run_example("switching_modes.py")
+        assert "wormhole" in out and "VCT" in out
+
+    def test_simulate_traffic_quick(self):
+        out = run_example("simulate_traffic.py", "uniform")
+        assert "Figure 10" in out and "reduces low-load latency" in out
+
+    def test_collective_workloads(self):
+        out = run_example("collective_workloads.py")
+        assert "ring_allreduce" in out
+
+    def test_analytic_model(self):
+        out = run_example("analytic_model.py")
+        assert "predicted saturation" in out

@@ -1,0 +1,122 @@
+"""Tests for the experiment drivers (figure/table regeneration)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_SIZES,
+    check_degrees,
+    check_line_cable,
+    check_routing,
+    compare_balance,
+    dsn6_vs_torus3d,
+    fig7_diameter,
+    fig8_aspl,
+    fig9_cable,
+    format_balance,
+    format_cable_sweep,
+    format_hop_sweep,
+    make_topology,
+    paper_trio,
+)
+
+SMALL = (32, 64, 128)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind", ["dsn", "dsn_e", "dsn_v", "dsn_d", "torus", "mesh", "random", "ring", "hypercube"]
+    )
+    def test_kinds_build(self, kind):
+        t = make_topology(kind, 64)
+        assert t.n == 64
+
+    def test_torus3d(self):
+        assert make_topology("torus3d", 512).dims == (8, 8, 8)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_topology("wormhole", 64)
+
+    def test_paper_trio(self):
+        trio = paper_trio(64)
+        assert [t.name for t in trio] == ["Torus-8x8", "DLN-2-2-64", "DSN-5-64"]
+
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == (32, 64, 128, 256, 512, 1024, 2048)
+
+
+class TestFig7and8:
+    def test_fig7_ordering(self):
+        rows = fig7_diameter(sizes=SMALL)
+        for row in rows:
+            assert row.values["random"] <= row.values["dsn"] + 2
+            if row.n >= 64:
+                assert row.values["dsn"] < row.values["torus"]
+
+    def test_fig8_ordering_and_64switch_values(self):
+        rows = fig8_aspl(sizes=(64,))
+        v = rows[0].values
+        # Section VII-B quotes 3.2 / 3.2 / 4.1 (DSN / RANDOM / torus)
+        assert v["dsn"] == pytest.approx(3.49, abs=0.05)
+        assert v["random"] == pytest.approx(3.2, abs=0.2)
+        assert v["torus"] == pytest.approx(4.06, abs=0.05)
+
+    def test_improvement_grows_with_size(self):
+        rows = fig8_aspl(sizes=(64, 512))
+        small_gain = rows[0].values["torus"] / rows[0].values["dsn"]
+        big_gain = rows[1].values["torus"] / rows[1].values["dsn"]
+        assert big_gain > small_gain
+
+    def test_formatting(self):
+        rows = fig7_diameter(sizes=(32,))
+        out = format_hop_sweep(rows, "Fig 7")
+        assert "Fig 7" in out and "dsn" in out
+
+
+class TestFig9:
+    def test_dsn_tracks_torus_random_grows(self):
+        rows = fig9_cable(sizes=(64, 1024))
+        small, big = rows
+        assert big.values["random"] > 1.5 * small.values["random"]
+        assert big.values["dsn"] < big.values["random"]
+        assert big.values["dsn"] < 1.5 * big.values["torus"]
+
+    def test_formatting(self):
+        out = format_cable_sweep(fig9_cable(sizes=(32,)), "Fig 9")
+        assert "Fig 9" in out
+
+    def test_dsn6_vs_torus3d(self):
+        dsn6, torus3 = dsn6_vs_torus3d(n=512)
+        assert dsn6.average_m < 2.0 * torus3.average_m
+
+
+class TestTheoryChecks:
+    @pytest.mark.parametrize("n", [64, 100, 250])
+    def test_degree_check(self, n):
+        assert check_degrees(n).ok
+
+    @pytest.mark.parametrize("n", [64, 128])
+    def test_routing_check_exhaustive(self, n):
+        chk = check_routing(n)
+        assert chk.ok
+        assert chk.pairs_checked == n * (n - 1)
+
+    def test_routing_check_sampled(self):
+        chk = check_routing(1024, sample_pairs=300)
+        assert chk.ok
+        assert chk.pairs_checked == 300
+
+    @pytest.mark.parametrize("n", [64, 250, 1020])
+    def test_line_cable_check(self, n):
+        chk = check_line_cable(n)
+        assert chk.ok
+        # the p/3 saving materializes within a factor ~2
+        assert chk.savings_factor > chk.savings_factor_expected / 2
+
+
+class TestBalance:
+    def test_custom_more_balanced_than_updown(self):
+        cmp = compare_balance(64)
+        assert cmp.custom_beats_updown
+        out = format_balance(cmp)
+        assert "up*/down*" in out

@@ -1,0 +1,140 @@
+"""Tests for DSN-E / DSN-V / DSN-D extensions (Sections V-A, V-B)."""
+
+import pytest
+
+from repro.core import (
+    DSNDTopology,
+    DSNETopology,
+    DSNTopology,
+    DSNVTopology,
+    dsn_route,
+    dsn_route_extended,
+    dsn_theory,
+    dsnd_route,
+)
+from repro.core.routing import HopKind, Phase
+from repro.analysis import diameter
+from repro.topologies import LinkClass
+
+
+class TestDSNE:
+    def test_parallel_links(self):
+        e = DSNETopology(64)
+        assert len(e.up_links) == 64  # one Up link per node
+        assert len(e.extra_links) == 2 * e.p
+        # parallel links don't change the simple graph
+        assert e.num_links == DSNTopology(64).num_links
+
+    def test_x_fixed_full(self):
+        e = DSNETopology(100)
+        assert e.x == e.p - 1
+
+    def test_total_degree_counts_parallel(self):
+        e = DSNETopology(64)
+        # every node has 2 extra Up endpoints; dateline nodes more
+        for v in range(20, 40):
+            assert e.total_degree(v) == e.degree(v) + 2
+
+    def test_extended_routing_same_hop_sequence(self):
+        """The extended routing changes channels, not the node path, so
+        the Fact 2 diameter bound carries over (Theorem 3)."""
+        e = DSNETopology(64)
+        b = DSNTopology(64)
+        for s in range(0, 64, 3):
+            for t in range(0, 64, 5):
+                assert dsn_route_extended(e, s, t).path == dsn_route(b, s, t).path
+
+    def test_extended_routing_channel_discipline(self):
+        e = DSNETopology(100)
+        region = 2 * e.p
+        for s in range(0, 100, 3):
+            for t in range(0, 100, 7):
+                r = dsn_route_extended(e, s, t)
+                for h in r.hops:
+                    if h.phase is Phase.PREWORK:
+                        assert h.kind is HopKind.UP
+                    elif h.phase is Phase.MAIN:
+                        assert h.kind in (HopKind.SUCC, HopKind.SHORTCUT)
+                    else:  # FINISH rides Pred/Up outside, Extra inside the region
+                        assert h.kind in (HopKind.PRED, HopKind.UP, HopKind.EXTRA)
+                        if h.kind is HopKind.EXTRA:
+                            assert 0 <= t < region
+
+    def test_finish_never_uses_ring_pred_in_region_when_dest_in_region(self):
+        """The dateline rule: FINISH pred-moves inside [1, 2p] ride Extra
+        whenever the destination lies in [0, 2p) -- the gap that makes the
+        dependency graph acyclic."""
+        e = DSNETopology(64)
+        region = 2 * e.p
+        for s in range(64):
+            for t in range(region):
+                r = dsn_route_extended(e, s, t)
+                for h in r.hops:
+                    if h.phase is Phase.FINISH and 1 <= max(h.src, h.dst) <= region:
+                        if (h.src - h.dst) % e.n == 1:  # pred move inside region
+                            assert h.kind is HopKind.EXTRA
+
+
+class TestDSNV:
+    def test_same_graph_as_basic(self):
+        v = DSNVTopology(64)
+        b = DSNTopology(64)
+        assert v.links == b.links
+        assert not hasattr(v, "parallel_links")
+
+    def test_policy_available(self):
+        v = DSNVTopology(64)
+        r = dsn_route_extended(v, 0, 33)
+        r.validate()
+
+
+class TestDSND:
+    def test_construction(self):
+        d = DSNDTopology(256, d=2)
+        assert d.q == -(-d.p // 2)
+        assert d.links_of_class(LinkClass.EXPRESS)
+        assert all(s % d.q == 0 for s in d.express_stops)
+
+    def test_truncated_shortcut_set(self):
+        d = DSNDTopology(256, d=2)
+        base = DSNTopology(256)
+        assert d.x < base.x  # the log p lowest levels are dropped
+
+    def test_diameter_improves_on_same_x_base(self):
+        """The express ring must beat the truncated base it extends."""
+        d = DSNDTopology(512, d=2)
+        base = DSNTopology(512, x=d.x)
+        assert diameter(d) < diameter(base)
+
+    def test_dsnd2_diameter_near_7_4p(self):
+        """Section V-B: DSN-D-2 diameter ~ (7/4) p."""
+        d = DSNDTopology(1024, d=2)
+        assert diameter(d) <= 1.75 * d.p + d.r + 2
+
+    def test_routing_valid_and_short(self):
+        d = DSNDTopology(256, d=2)
+        th = dsn_theory(256, d.x)
+        for s in range(0, 256, 3):
+            for t in range(0, 256, 5):
+                r = dsnd_route(d, s, t)
+                r.validate()
+                # Section V-B: routing diameter improves to ~2p
+                assert r.length <= 2 * d.p + d.r + 2
+
+    def test_routing_never_longer_than_plain_walks(self):
+        """The express rewrite only replaces a local walk when shorter."""
+        d = DSNDTopology(256, d=2)
+        for s in range(0, 256, 11):
+            for t in range(0, 256, 13):
+                assert dsnd_route(d, s, t).length <= dsn_route(d, s, t).length
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            DSNDTopology(256, d=0)
+        with pytest.raises(ValueError):
+            DSNDTopology(256, d=8)  # d >= p
+
+    def test_express_neighbors(self):
+        d = DSNDTopology(256, d=2)
+        s0 = d.express_stops[0]
+        assert d.express_next(d.express_prev(s0)) == s0

@@ -1,0 +1,85 @@
+"""Tests for fault injection and bisection estimation."""
+
+import pytest
+
+from repro.analysis import (
+    bisection_estimate,
+    cut_links,
+    degrade,
+    fault_sweep,
+)
+from repro.core import DSNTopology
+from repro.topologies import RingTopology, Topology, TorusTopology
+
+
+class TestDegrade:
+    def test_removes_exact_links(self):
+        t = RingTopology(8)
+        dead = [t.links[0], t.links[3]]
+        d = degrade(t, dead)
+        assert d.num_links == 6
+        for l in dead:
+            assert not d.has_link(l.u, l.v)
+
+    def test_no_failures_identity(self):
+        t = DSNTopology(32)
+        assert degrade(t, []).num_links == t.num_links
+
+
+class TestFaultSweep:
+    def test_zero_fraction_matches_baseline(self):
+        from repro.analysis import analyze
+
+        t = DSNTopology(32)
+        stats = fault_sweep(t, 0.0, trials=2, seed=0)
+        m = analyze(t)
+        assert stats.connected_fraction == 1.0
+        assert stats.mean_diameter == m.diameter
+        assert stats.mean_aspl == pytest.approx(m.aspl)
+
+    def test_metrics_degrade_with_failures(self):
+        t = DSNTopology(64)
+        base = fault_sweep(t, 0.0, trials=1, seed=0)
+        hurt = fault_sweep(t, 0.10, trials=10, seed=0)
+        if hurt.connected_fraction > 0:
+            assert hurt.mean_aspl >= base.mean_aspl
+
+    def test_ring_disconnects_easily(self):
+        """Two failed links disconnect a ring: P(connected) must be low."""
+        r = RingTopology(32)
+        stats = fault_sweep(r, 0.08, trials=20, seed=1)  # ~2-3 failures
+        assert stats.connected_fraction < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fault_sweep(DSNTopology(32), 1.0)
+
+    def test_row_format_with_disconnection(self):
+        r = RingTopology(16)
+        stats = fault_sweep(r, 0.3, trials=5, seed=0)
+        row = stats.row()
+        assert len(row) == 5
+
+
+class TestBisection:
+    def test_ring_bisection_is_2(self):
+        est = bisection_estimate(RingTopology(16), restarts=5, seed=0)
+        assert est.heuristic_upper == 2
+        assert est.spectral_lower <= 2
+
+    def test_torus_bisection_closed_form(self):
+        """k x k torus bisection = 2k crossing links."""
+        est = bisection_estimate(TorusTopology((8, 8)), restarts=8, seed=0)
+        assert est.heuristic_upper >= 16
+        assert est.heuristic_upper <= 2 * 16  # heuristic may be off by 2x
+        assert est.spectral_lower <= est.heuristic_upper
+
+    def test_lower_never_exceeds_upper(self):
+        for topo in (DSNTopology(64), TorusTopology((4, 8))):
+            est = bisection_estimate(topo, seed=1)
+            assert est.spectral_lower <= est.heuristic_upper + 1e-9
+
+    def test_cut_links_manual(self):
+        t = Topology(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert cut_links(t, {0, 1}) == 2
+        assert cut_links(t, {0, 2}) == 4

@@ -1,0 +1,87 @@
+"""Tests for the flexible DSN with minor nodes (Section V-C)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import FlexibleDSNTopology, flexible_route
+
+
+class TestConstruction:
+    def test_paper_example_1020_plus_4(self):
+        """Section V-C: size-1024 network = DSN-10-1020 + 4 minors."""
+        f = FlexibleDSNTopology(1020, minors_after=[10, 20, 30, 40])
+        assert f.n == 1024
+        assert f.num_minors == 4
+        assert f.major_dsn.p == 10
+
+    def test_fractional_labels(self):
+        f = FlexibleDSNTopology(1020, minors_after=[10, 20])
+        ring_id = f.major_ring_id(10) + 1
+        assert f.is_minor(ring_id)
+        assert f.label(ring_id) == Fraction(21, 2)  # "10 1/2"
+
+    def test_multiple_minors_same_slot(self):
+        f = FlexibleDSNTopology(100, minors_after=[5, 5])
+        base = f.major_ring_id(5)
+        assert f.is_minor(base + 1) and f.is_minor(base + 2)
+        assert f.label(base + 1) == Fraction(5) + Fraction(1, 3)
+        assert f.label(base + 2) == Fraction(5) + Fraction(2, 3)
+
+    def test_majors_keep_shortcuts(self):
+        f = FlexibleDSNTopology(100, minors_after=[3])
+        base = f.major_dsn
+        for major in range(100):
+            sc = base.shortcut_from(major)
+            if sc is not None:
+                assert f.has_link(f.major_ring_id(major), f.major_ring_id(sc))
+
+    def test_minors_are_degree_2(self):
+        f = FlexibleDSNTopology(100, minors_after=[7, 42])
+        for v in range(f.n):
+            if f.is_minor(v):
+                assert f.degree(v) == 2
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            FlexibleDSNTopology(100, minors_after=[100])
+
+    def test_major_before(self):
+        f = FlexibleDSNTopology(100, minors_after=[7])
+        rid = f.major_ring_id(7)
+        assert f.major_before(rid) == 7
+        assert f.major_before(rid + 1) == 7  # the minor
+        assert f.major_before(rid + 2) == 8
+
+
+class TestRouting:
+    def test_exhaustive_small(self):
+        f = FlexibleDSNTopology(60, minors_after=[5, 20, 20, 47])
+        for s in range(f.n):
+            for t in range(f.n):
+                r = flexible_route(f, s, t)
+                r.validate()
+                for h in r.hops:
+                    assert f.has_link(h.src, h.dst)
+
+    def test_minor_to_adjacent_cases(self):
+        f = FlexibleDSNTopology(60, minors_after=[5, 5])
+        m1 = f.major_ring_id(5) + 1
+        m2 = m1 + 1
+        # minor -> its preceding minor (backs up past it)
+        assert flexible_route(f, m2, m1).length == 1
+        # minor -> its major
+        assert flexible_route(f, m1, f.major_ring_id(5)).length == 1
+        # major -> its minor
+        assert flexible_route(f, f.major_ring_id(5), m2).length == 2
+
+    def test_trivial(self):
+        f = FlexibleDSNTopology(60, minors_after=[5])
+        assert flexible_route(f, 3, 3).length == 0
+
+    def test_no_minors_matches_plain_sizes(self):
+        f = FlexibleDSNTopology(64, minors_after=[])
+        assert f.n == 64
+        assert f.num_minors == 0
+        r = flexible_route(f, 0, 40)
+        r.validate()

@@ -1,0 +1,68 @@
+"""Tests for LASH layered shortest-path routing."""
+
+import pytest
+
+from repro.core import DSNTopology
+from repro.routing import lash_adapter, lash_layering
+from repro.topologies import RingTopology, TorusTopology
+
+
+class TestLayering:
+    def test_paths_are_minimal(self):
+        topo = DSNTopology(32)
+        l = lash_layering(topo)
+        from repro.routing import ShortestPathTable
+
+        table = ShortestPathTable(topo)
+        for (s, t), p in l.paths.items():
+            assert len(p) - 1 == table.distance(s, t)
+
+    def test_every_pair_assigned(self):
+        topo = TorusTopology((4, 4))
+        l = lash_layering(topo)
+        assert len(l.layer_of) == 16 * 15
+        assert all(0 <= li < l.num_layers for li in l.layer_of.values())
+
+    def test_layers_acyclic(self):
+        l = lash_layering(DSNTopology(32))
+        l.verify()  # raises on any cyclic layer
+
+    def test_ring_needs_two_layers(self):
+        """A ring's one-per-pair minimal paths wrap the cycle: one layer
+        cannot be acyclic, two suffice (the dateline, rediscovered)."""
+        l = lash_layering(RingTopology(12))
+        assert l.num_layers == 2
+
+    def test_fits_paper_vc_budget_at_64(self):
+        """DSN, torus and RANDOM all LASH-route within the paper's 4 VCs."""
+        from repro.experiments import paper_trio
+
+        for topo in paper_trio(64):
+            l = lash_layering(topo)
+            assert l.num_layers <= 4, topo.name
+
+    def test_layer_sizes_sum(self):
+        l = lash_layering(DSNTopology(32))
+        assert sum(l.layer_sizes()) == 32 * 31
+
+    def test_max_layers_enforced(self):
+        with pytest.raises(RuntimeError):
+            lash_layering(RingTopology(12), max_layers=1)
+
+
+class TestLashInSimulator:
+    def test_simulates_and_delivers(self):
+        import numpy as np
+
+        from repro.sim import NetworkSimulator, SimConfig
+        from repro.traffic import make_pattern
+
+        cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=9)
+        topo = DSNTopology(16)
+        adapter = lash_adapter(lash_layering(topo))
+        r = NetworkSimulator(topo, adapter, make_pattern("uniform", 64), 2.0, cfg).run()
+        assert r.delivered_fraction == 1.0
+        # minimal: hops equal the shortest-path average
+        from repro.analysis import average_shortest_path_length
+
+        assert r.avg_hops == pytest.approx(average_shortest_path_length(topo), abs=0.3)

@@ -1,0 +1,74 @@
+"""Tests for the analytic M/D/1 latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSNTopology
+from repro.sim import SimConfig
+from repro.sim.model import build_uniform_model
+from repro.topologies import RingTopology, TorusTopology
+
+
+class TestModelBasics:
+    def test_shares_normalized(self):
+        m = build_uniform_model(DSNTopology(32))
+        assert m.channel_shares.sum() == pytest.approx(1.0)
+        assert (m.channel_shares >= 0).all()
+
+    def test_zero_load_matches_config_formula(self):
+        cfg = SimConfig()
+        m = build_uniform_model(DSNTopology(32), cfg)
+        assert m.latency_ns(1e-9) == pytest.approx(cfg.zero_load_latency_ns(m.avg_hops), rel=1e-6)
+
+    def test_latency_monotone_in_load(self):
+        m = build_uniform_model(DSNTopology(64))
+        lats = [m.latency_ns(l) for l in (1.0, 4.0, 8.0)]
+        assert lats == sorted(lats)
+
+    def test_infinite_at_saturation(self):
+        m = build_uniform_model(DSNTopology(64))
+        sat = m.saturation_gbps()
+        assert m.latency_ns(sat * 1.01) == float("inf")
+        assert m.latency_ns(sat * 0.5) < float("inf")
+
+    def test_balanced_saturates_no_earlier_than_oblivious(self):
+        t = TorusTopology.square(64)
+        bal = build_uniform_model(t, balanced=True)
+        obl = build_uniform_model(t, balanced=False)
+        assert bal.saturation_gbps() >= obl.saturation_gbps()
+
+    def test_curve_shape(self):
+        m = build_uniform_model(DSNTopology(32))
+        c = m.curve((1.0, 2.0))
+        assert len(c) == 2
+
+
+class TestSymmetry:
+    def test_torus_balanced_shares_uniform(self):
+        """On a vertex-transitive torus, the balanced shares are equal
+        across channels."""
+        m = build_uniform_model(TorusTopology((4, 4)), balanced=True)
+        assert m.channel_shares.std() / m.channel_shares.mean() < 1e-9
+
+    def test_ring_shares_uniform(self):
+        m = build_uniform_model(RingTopology(8), balanced=True)
+        assert np.allclose(m.channel_shares, m.channel_shares[0])
+
+
+class TestAgainstSimulator:
+    def test_tracks_simulation_at_moderate_load(self):
+        """The model must track the event-driven engine within ~8% well
+        below saturation (the validation experiment E24 does the full
+        sweep)."""
+        from repro.routing import DuatoAdaptiveRouting
+        from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator
+        from repro.traffic import make_pattern
+
+        cfg = SimConfig(warmup_ns=3000, measure_ns=9000, drain_ns=18000, seed=3)
+        topo = DSNTopology(64)
+        model = build_uniform_model(topo, cfg)
+        adapter = AdaptiveEscapeAdapter(
+            DuatoAdaptiveRouting(topo), cfg.num_vcs, np.random.default_rng(0)
+        )
+        sim = NetworkSimulator(topo, adapter, make_pattern("uniform", 256), 4.0, cfg).run()
+        assert model.latency_ns(4.0) == pytest.approx(sim.avg_latency_ns, rel=0.08)

@@ -1,0 +1,138 @@
+"""Tests for the machine-room floorplan and cable accounting (Fig. 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DSNETopology, DSNTopology
+from repro.layout import (
+    Floorplan,
+    FloorplanConfig,
+    average_cable_length,
+    cable_lengths,
+    cable_report,
+    linear_cable_stats,
+    total_cable_length,
+)
+from repro.topologies import RingTopology, TorusTopology
+
+
+class TestFloorplanGeometry:
+    def test_paper_dimensions(self):
+        fp = Floorplan(2048)
+        assert fp.num_cabinets == 128
+        assert fp.rows == 12
+        assert fp.per_row == 11
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_all_cabinets_placed(self, m_switches):
+        fp = Floorplan(m_switches)
+        assert fp.rows * fp.per_row >= fp.num_cabinets
+        # last position valid
+        fp.cabinet_position(fp.num_cabinets - 1)
+
+    @given(st.integers(min_value=17, max_value=4000))
+    def test_rows_near_square(self, n):
+        fp = Floorplan(n)
+        assert (fp.rows - 1) ** 2 < fp.num_cabinets <= fp.rows**2
+
+    def test_cabinet_of(self):
+        fp = Floorplan(64)
+        assert fp.cabinet_of(0) == 0
+        assert fp.cabinet_of(15) == 0
+        assert fp.cabinet_of(16) == 1
+        with pytest.raises(ValueError):
+            fp.cabinet_of(64)
+
+    def test_manhattan_distance(self):
+        fp = Floorplan(16 * 6)  # 6 cabinets: 3 rows x 2
+        assert fp.rows == 3 and fp.per_row == 2
+        # cabinet 0 at (0, 0); cabinet 3 at (col 1, row 1) = (0.6, 2.1)
+        assert fp.cabinet_distance(0, 3) == pytest.approx(0.6 + 2.1)
+
+    def test_cable_length_rules(self):
+        fp = Floorplan(64)
+        assert fp.cable_length(0, 15) == 2.0  # intra-cabinet
+        inter = fp.cable_length(0, 16)  # adjacent cabinets
+        assert inter == pytest.approx(0.6 + 4.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FloorplanConfig(switches_per_cabinet=0)
+
+    def test_custom_overhead(self):
+        cfg = FloorplanConfig(overhead_per_cabinet_m=1.0)
+        fp = Floorplan(64, cfg)
+        assert fp.cable_length(0, 16) == pytest.approx(0.6 + 2.0)
+
+
+class TestCableAccounting:
+    def test_lengths_vector(self):
+        t = RingTopology(32)
+        lengths = cable_lengths(t)
+        assert len(lengths) == t.num_links
+        assert (lengths >= 2.0).all()
+
+    def test_total_is_sum(self):
+        t = TorusTopology((8, 8))
+        assert total_cable_length(t) == pytest.approx(cable_lengths(t).sum())
+
+    def test_fig9_shape_at_2048(self):
+        """Fig. 9: DSN average cable close to torus, far below RANDOM."""
+        from repro.topologies import DLNRandomTopology
+
+        n = 2048
+        torus = average_cable_length(TorusTopology.square(n))
+        rnd = average_cable_length(DLNRandomTopology(n, seed=0))
+        dsn = average_cable_length(DSNTopology(n))
+        assert dsn < rnd
+        assert (rnd - dsn) / rnd > 0.25  # paper: up to 38% shorter
+        assert dsn < 1.6 * torus
+
+    def test_report_classes(self):
+        rep = cable_report(DSNTopology(256))
+        assert "local" in rep.per_class and "shortcut" in rep.per_class
+        n_local, avg_local = rep.per_class["local"]
+        assert n_local == 256
+        assert avg_local < rep.per_class["shortcut"][1]
+
+    def test_parallel_links_counted(self):
+        e = DSNETopology(64)
+        base = DSNTopology(64)
+        assert cable_report(e).num_cables > cable_report(base).num_cables
+        assert cable_report(e, include_parallel=False).num_cables == base.num_links
+
+
+class TestLinearLayout:
+    def test_ring_excludes_wrap(self):
+        stats = linear_cable_stats(RingTopology(16))
+        assert stats.total == 15  # unit links, no wrap
+
+    def test_theorem2b_bounds(self):
+        """Theorem 2(b): the exact (slack-corrected) bounds always hold,
+        and the paper's asymptotic constants are approached at large n."""
+        from repro.core import dsn_theory
+
+        for n in (64, 256, 1020, 2048):
+            th = dsn_theory(n)
+            stats = linear_cable_stats(DSNTopology(n))
+            assert stats.total <= th.total_cable_bound_exact
+            assert stats.average_shortcut <= th.average_shortcut_length_bound_exact
+        # asymptotics: within 15% of the paper's n/p, n^2/p + 2n at n=2048
+        th = dsn_theory(2048)
+        stats = linear_cable_stats(DSNTopology(2048))
+        assert stats.total <= 1.15 * th.total_cable_bound
+        assert stats.average_shortcut <= 1.15 * th.average_shortcut_length_bound
+
+    def test_dln22_shortcut_mean_near_n_over_4(self):
+        """DLN-2-2's random chords average ~ n/4 in arc measure (the
+        paper's n/3 is the same quantity in line measure)."""
+        from repro.core import dln22_average_shortcut_length
+        from repro.topologies import DLNRandomTopology
+
+        n = 1024
+        stats = linear_cable_stats(DLNRandomTopology(n, seed=0))
+        assert stats.average_shortcut == pytest.approx(
+            dln22_average_shortcut_length(n, "arc"), rel=0.15
+        )
+        assert dln22_average_shortcut_length(n, "line") == pytest.approx(n / 3)

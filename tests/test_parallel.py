@@ -1,0 +1,38 @@
+"""Tests for the optional process-pool mapper."""
+
+import os
+
+from repro.experiments.graphs import hop_sweep
+from repro.util.parallel import default_workers, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_default(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_order_preserved_with_pool(self):
+        assert parallel_map(_square, list(range(10)), workers=2) == [
+            x * x for x in range(10)
+        ]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], workers=8) == [49]
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert default_workers() == 0
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() == 0
+
+
+class TestSweepParallelEquivalence:
+    def test_hop_sweep_same_results(self):
+        serial = hop_sweep("diameter", sizes=(32, 64), workers=0)
+        parallel = hop_sweep("diameter", sizes=(32, 64), workers=2)
+        assert [r.values for r in serial] == [r.values for r in parallel]

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check invariants that tie subsystems together: the custom routing
+against graph distances, the extended routing against the basic one,
+topology round-trips, and floorplan geometry.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import shortest_path_matrix
+from repro.core import (
+    DSNTopology,
+    DSNVTopology,
+    dsn_route,
+    dsn_route_extended,
+    dsn_theory,
+)
+from repro.layout import Floorplan
+from repro.topologies import Topology
+from repro.util import ilog2_ceil
+
+sizes = st.integers(min_value=16, max_value=600)
+
+
+class TestRoutingVsGraph:
+    @settings(max_examples=25, deadline=None)
+    @given(sizes, st.data())
+    def test_route_at_least_graph_distance(self, n, data):
+        topo = DSNTopology(n)
+        dist = shortest_path_matrix(topo)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        r = dsn_route(topo, s, t)
+        assert r.length >= dist[s, t]
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes, st.data())
+    def test_extended_routing_same_node_path(self, n, data):
+        basic = DSNTopology(n)
+        ext = DSNVTopology(n)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert dsn_route(basic, s, t).path == dsn_route_extended(ext, s, t).path
+
+    @settings(max_examples=20, deadline=None)
+    @given(sizes, st.data())
+    def test_avoid_overshoot_also_delivers(self, n, data):
+        topo = DSNTopology(n)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        r = dsn_route(topo, s, t, avoid_overshoot=True)
+        r.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(sizes)
+    def test_graph_diameter_bound_fact3(self, n):
+        topo = DSNTopology(n)
+        th = dsn_theory(n)
+        dist = shortest_path_matrix(topo)
+        assert dist.max() <= th.diameter_bound
+
+
+class TestSuperGraphStructure:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=5, max_value=10))
+    def test_collapse_is_dln_when_aligned(self, p_target):
+        """For n = k*p, each full super node owns exactly one shortcut
+        of each level 1..x (the Fig. 1(c) DLN collapse)."""
+        n = p_target * (2 ** (p_target - 1) // p_target)
+        if n < 16 or ilog2_ceil(n) != p_target:
+            return  # alignment only holds when p(n) == p_target
+        topo = DSNTopology(n)
+        if topo.r != 0:
+            return
+        for k in range(topo.num_super_nodes):
+            levels = sorted(
+                topo.level(v)
+                for v in topo.super_node_members(k)
+                if topo.shortcut_from(v) is not None
+            )
+            assert levels == list(range(1, topo.x + 1))
+
+
+class TestTopologyRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(sizes)
+    def test_networkx_round_trip(self, n):
+        topo = DSNTopology(n)
+        back = Topology.from_networkx(topo.to_networkx(), name=topo.name)
+        assert back.links == topo.links
+        assert back.n == topo.n
+
+    def test_from_networkx_rejects_bad_labels(self):
+        g = nx.path_graph(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            Topology.from_networkx(g)
+
+    def test_from_networkx_defaults_local(self):
+        g = nx.cycle_graph(5)
+        t = Topology.from_networkx(g)
+        from repro.topologies import LinkClass
+
+        assert all(l.cls is LinkClass.LOCAL for l in t.links)
+
+
+class TestFloorplanProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=5000), st.data())
+    def test_distance_metric_axioms(self, n_switches, data):
+        fp = Floorplan(n_switches)
+        m = fp.num_cabinets
+        a = data.draw(st.integers(min_value=0, max_value=m - 1))
+        b = data.draw(st.integers(min_value=0, max_value=m - 1))
+        c = data.draw(st.integers(min_value=0, max_value=m - 1))
+        dab = fp.cabinet_distance(a, b)
+        assert dab == fp.cabinet_distance(b, a)
+        assert fp.cabinet_distance(a, a) == 0
+        assert dab <= fp.cabinet_distance(a, c) + fp.cabinet_distance(c, b) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=5000), st.data())
+    def test_cable_at_least_intra(self, n_switches, data):
+        fp = Floorplan(n_switches)
+        u = data.draw(st.integers(min_value=0, max_value=n_switches - 1))
+        v = data.draw(st.integers(min_value=0, max_value=n_switches - 1))
+        if u != v:
+            assert fp.cable_length(u, v) >= fp.config.intra_cabinet_cable_m

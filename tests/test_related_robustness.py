@@ -1,0 +1,77 @@
+"""Tests for the related-work and robustness experiment drivers."""
+
+import pytest
+
+from repro.experiments import (
+    bisection_table,
+    diameter_degree_table,
+    dln_family_table,
+    fault_table,
+    greedy_vs_dsn_routing,
+    rerouting_table,
+)
+
+
+class TestRelatedWork:
+    def test_diameter_degree_table_renders(self):
+        out = diameter_degree_table()
+        assert "DeBruijn" in out and "CCC" in out and "DSN" in out
+
+    def test_dln_family_monotone(self):
+        """As x grows, DLN-x diameter falls while degree rises."""
+        import re
+
+        out = dln_family_table(256)
+        assert "DLN-2-256" in out
+        # parse the diameter column (skip the title line, which also
+        # begins with "DLN-x")
+        rows = [l.split() for l in out.splitlines() if re.match(r"\s*DLN-\d+-\d+\s", l)]
+        diams = [float(r[2]) for r in rows]
+        degrees = [int(r[4]) for r in rows]
+        assert diams == sorted(diams, reverse=True)
+        assert degrees == sorted(degrees)
+
+    def test_greedy_comparison_fields(self):
+        cmp = greedy_vs_dsn_routing(8, samples=100, seed=0)
+        assert cmp.n == 64
+        assert cmp.kleinberg_mean > 0 and cmp.dsn_mean > 0
+        assert cmp.kleinberg_max >= cmp.kleinberg_mean
+
+    def test_greedy_scaling_is_polylog(self):
+        """Greedy mean / log^2(n) stays roughly constant across sizes
+        (the Theta(log^2 n) scaling of ref [16])."""
+        import math
+
+        ratios = []
+        for side in (8, 16):
+            cmp = greedy_vs_dsn_routing(side, samples=200, seed=1)
+            ratios.append(cmp.kleinberg_mean / math.log2(cmp.n) ** 2)
+        assert ratios[1] == pytest.approx(ratios[0], rel=0.5)
+
+    def test_dsn_routing_bounded_by_2p(self):
+        cmp = greedy_vs_dsn_routing(16, samples=200, seed=2)
+        p = 8  # ceil(log2 256)
+        assert cmp.dsn_mean <= 2 * p
+
+
+class TestRobustnessDrivers:
+    def test_fault_table(self):
+        table, stats = fault_table(n=64, fractions=(0.02,), trials=3, seed=0)
+        assert "Link-failure" in table
+        assert len(stats) == 3  # three topologies x one fraction
+
+    def test_rerouting_stretch_small(self):
+        """Up*/down* recomputation absorbs 5% link failures with only a
+        few percent of path stretch on every topology."""
+        table, rows = rerouting_table(n=64, trials=3, seed=0)
+        assert "rerouting" in table
+        for r in rows:
+            if r["stretch"] == r["stretch"]:  # not NaN
+                assert 1.0 <= r["stretch"] < 1.3
+
+    def test_bisection_table_ordering(self):
+        table, ests = bisection_table(n=64, seed=0)
+        by = {e.name.split("-")[0]: e for e in ests}
+        # torus has the smallest bisection per node at equal degree
+        assert by["Torus"].per_node_upper <= by["DLN"].per_node_upper
+        assert "Bisection" in table

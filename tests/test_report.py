@@ -1,0 +1,34 @@
+"""Tests for the auto-generated results report."""
+
+from repro.cli import main
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self):
+        text = generate_report(include_sim=False, full=False)
+        for heading in (
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Fact 1",
+            "Theorem 2(b)",
+            "E13",
+            "Related work",
+            "Robustness",
+            "placement",
+        ):
+            assert heading in text, heading
+
+    def test_reports_zero_violations(self):
+        text = generate_report()
+        assert "0 bound violations" in text
+
+
+class TestReportCommand:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "results.md"
+        main(["report", "--out", str(out)])
+        assert out.exists()
+        assert "Figure 7" in out.read_text()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,105 @@
+"""Tests for ring, line, mesh and torus topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze, diameter
+from repro.topologies import LineTopology, MeshTopology, RingTopology, TorusTopology, balanced_dims
+
+
+class TestRing:
+    def test_structure(self):
+        r = RingTopology(8)
+        assert r.num_links == 8
+        assert r.degree_census() == {2: 8}
+        assert r.succ(7) == 0 and r.pred(0) == 7
+
+    def test_diameter_closed_form(self):
+        for n in (5, 8, 13):
+            assert diameter(RingTopology(n)) == n // 2
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            RingTopology(2)
+
+
+class TestLine:
+    def test_structure_and_diameter(self):
+        l = LineTopology(6)
+        assert l.num_links == 5
+        assert diameter(l) == 5
+
+
+class TestBalancedDims:
+    @given(st.integers(min_value=5, max_value=12))
+    def test_power_of_two_2d(self, e):
+        a, b = balanced_dims(2**e, 2)
+        assert a * b == 2**e
+        assert a // b in (1, 2)
+
+    def test_3d(self):
+        dims = balanced_dims(512, 3)
+        assert dims == (8, 8, 8)
+        assert balanced_dims(2048, 3) == (16, 16, 8)
+
+    def test_non_power_of_two(self):
+        dims = balanced_dims(36, 2)
+        assert dims[0] * dims[1] == 36
+
+    def test_one_dim(self):
+        assert balanced_dims(7, 1) == (7,)
+
+    def test_rejects_bad_ndims(self):
+        with pytest.raises(ValueError):
+            balanced_dims(8, 0)
+
+
+class TestTorus:
+    def test_degree_regular(self):
+        t = TorusTopology((4, 4))
+        assert t.degree_census() == {4: 16}
+
+    def test_2x_dims_no_duplicate(self):
+        t = TorusTopology((2, 4))
+        # dimension of size 2 contributes one link, not two parallel ones
+        assert t.degree(0) == 3
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=3, max_value=8))
+    def test_diameter_closed_form(self, a, b):
+        t = TorusTopology((a, b))
+        assert diameter(t) == t.theoretical_diameter() == a // 2 + b // 2
+
+    def test_square_factory(self):
+        t = TorusTopology.square(2048)
+        assert t.dims == (64, 32)
+        assert t.n == 2048
+
+    def test_coordinates_roundtrip(self):
+        t = TorusTopology((4, 8))
+        for node in range(t.n):
+            assert t.node_at(t.coordinates(node)) == node
+
+    def test_node_at_validates(self):
+        t = TorusTopology((4, 4))
+        with pytest.raises(ValueError):
+            t.node_at((4, 0))
+        with pytest.raises(ValueError):
+            t.node_at((1,))
+
+    def test_aspl_known_8x8(self):
+        # Fig. 8 text: torus ASPL at 64 switches is ~4.1
+        m = analyze(TorusTopology((8, 8)))
+        assert m.aspl == pytest.approx(4.063, abs=0.01)
+
+
+class TestMesh:
+    def test_diameter_closed_form(self):
+        m = MeshTopology((3, 5))
+        assert diameter(m) == m.theoretical_diameter() == 2 + 4
+
+    def test_corner_degrees(self):
+        m = MeshTopology((3, 3))
+        assert m.degree(0) == 2  # corner
+        assert m.degree(4) == 4  # center

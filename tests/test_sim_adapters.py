@@ -1,0 +1,118 @@
+"""Tests for the DOR and minimal-custom-escape simulation adapters."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSNTopology, DSNVTopology
+from repro.routing.dor import dor_path
+from repro.sim import (
+    DORAdapter,
+    MinimalCustomEscapeAdapter,
+    NetworkSimulator,
+    SimConfig,
+)
+from repro.topologies import TorusTopology
+from repro.traffic import make_pattern
+
+CFG = SimConfig(warmup_ns=2000, measure_ns=8000, drain_ns=16000, seed=5)
+
+
+class TestDORAdapter:
+    def test_requires_grid(self):
+        with pytest.raises(TypeError):
+            DORAdapter(DSNTopology(16), 4)
+
+    def test_requires_two_vcs(self):
+        with pytest.raises(ValueError):
+            DORAdapter(TorusTopology((4, 4)), 1)
+
+    def test_follows_dor_path(self):
+        topo = TorusTopology((4, 4))
+        ad = DORAdapter(topo, 4)
+        for s in range(16):
+            for t in range(16):
+                if s == t:
+                    continue
+                path = [s]
+                state = ad.initial_state(s, t)
+                u = s
+                while u != t:
+                    opts = ad.options(u, t, state)
+                    assert len(opts) == 1  # DOR is deterministic
+                    u = opts[0].next_node
+                    state = opts[0].new_rstate
+                    path.append(u)
+                assert path == dor_path(topo, s, t)
+
+    def test_dateline_switches_vc_class(self):
+        topo = TorusTopology((8, 8))
+        ad = DORAdapter(topo, 4)
+        # route 1 -> 6 along x wraps through the 7|0 boundary
+        s, t = topo.node_at((0, 6)), topo.node_at((0, 1))
+        state = ad.initial_state(s, t)
+        u = s
+        vcs_seen = []
+        while u != t:
+            opt = ad.options(u, t, state)[0]
+            vcs_seen.append(opt.vc_indices)
+            u, state = opt.next_node, opt.new_rstate
+        assert vcs_seen[0] == (0, 1)  # pre-dateline
+        assert vcs_seen[-1] == (2, 3)  # post-dateline
+
+    def test_simulation_runs_and_delivers(self):
+        topo = TorusTopology((4, 4))
+        ad = DORAdapter(topo, 4)
+        pat = make_pattern("uniform", 64)
+        r = NetworkSimulator(topo, ad, pat, 2.0, CFG).run()
+        assert r.delivered_fraction == 1.0
+
+
+class TestMinimalCustomEscape:
+    def test_requires_dsn_extended(self):
+        with pytest.raises(TypeError):
+            MinimalCustomEscapeAdapter(DSNTopology(16), 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MinimalCustomEscapeAdapter(DSNVTopology(16), 3, np.random.default_rng(0))
+
+    def test_adaptive_options_minimal_escape_last(self):
+        topo = DSNVTopology(64)
+        ad = MinimalCustomEscapeAdapter(topo, 4, np.random.default_rng(0))
+        opts = ad.options(0, 40, ad.initial_state(0, 40))
+        # last option is the escape (single VC in 0..2), others adaptive (VC 3)
+        assert opts[-1].vc_indices[0] < 3
+        for o in opts[:-1]:
+            assert o.vc_indices == (3,)
+            assert ad.table.distance(o.next_node, 40) == ad.table.distance(0, 40) - 1
+
+    def test_escape_is_sticky_and_reaches(self):
+        topo = DSNVTopology(64)
+        ad = MinimalCustomEscapeAdapter(topo, 4, np.random.default_rng(0))
+        # force escape from the start and walk it to the end
+        state = ("escape", (ad._escape_hops(5, 40), 0))
+        u = 5
+        hops = 0
+        while u != 40:
+            opt = ad.options(u, 40, state)[0]
+            u, state = opt.next_node, opt.new_rstate
+            hops += 1
+            assert hops < 100
+        assert state[0] == "escape"
+
+    def test_delivers_under_load(self):
+        """Stress: no deadlock / loss at a load past the adaptive VC's
+        comfort zone (the escape layer must absorb everything)."""
+        topo = DSNVTopology(16)
+        ad = MinimalCustomEscapeAdapter(topo, 4, np.random.default_rng(1))
+        pat = make_pattern("uniform", 64)
+        r = NetworkSimulator(topo, ad, pat, 6.0, CFG).run()
+        assert r.delivered_fraction == 1.0
+
+    def test_low_load_hops_near_minimal(self):
+        from repro.analysis import average_shortest_path_length
+
+        topo = DSNVTopology(64)
+        ad = MinimalCustomEscapeAdapter(topo, 4, np.random.default_rng(0))
+        pat = make_pattern("uniform", 256)
+        r = NetworkSimulator(topo, ad, pat, 0.5, CFG).run()
+        # mostly-minimal at low load: within half a hop of the ASPL
+        assert r.avg_hops <= average_shortest_path_length(topo) + 0.5

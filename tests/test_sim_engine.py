@@ -1,0 +1,104 @@
+"""Tests for the event queue and port primitives."""
+
+import pytest
+
+from repro.sim import EventQueue, OutPort, Packet
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        eq = EventQueue()
+        log = []
+        eq.schedule(5.0, log.append, "b")
+        eq.schedule(1.0, log.append, "a")
+        eq.schedule(9.0, log.append, "c")
+        eq.run(until=10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        eq = EventQueue()
+        log = []
+        for i in range(5):
+            eq.schedule(1.0, log.append, i)
+        eq.run(until=2.0)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops(self):
+        eq = EventQueue()
+        log = []
+        eq.schedule(1.0, log.append, "x")
+        eq.schedule(5.0, log.append, "y")
+        eq.run(until=3.0)
+        assert log == ["x"]
+        assert eq.now == 3.0
+        eq.run(until=6.0)
+        assert log == ["x", "y"]
+
+    def test_cascading_events(self):
+        eq = EventQueue()
+        log = []
+
+        def fire(k):
+            log.append(k)
+            if k < 3:
+                eq.schedule_in(1.0, fire, k + 1)
+
+        eq.schedule(0.0, fire, 0)
+        eq.run(until=10.0)
+        assert log == [0, 1, 2, 3]
+
+    def test_rejects_past_schedule(self):
+        eq = EventQueue()
+        eq.schedule(5.0, lambda: None)
+        eq.run(until=6.0)
+        with pytest.raises(ValueError):
+            eq.schedule(1.0, lambda: None)
+
+    def test_peek(self):
+        eq = EventQueue()
+        assert eq.peek_time() is None
+        eq.schedule(2.0, lambda: None)
+        assert eq.peek_time() == 2.0
+
+
+def _mk_packet(pid=0):
+    return Packet(pid, 0, 1, 0, 1, 33, 0.0)
+
+
+class TestOutPort:
+    def test_reserve_release(self):
+        p = OutPort(("sw", 0, 1), 4)
+        pkt = _mk_packet()
+        p.reserve(2, pkt)
+        assert p.free_vcs(range(4)) == [0, 1, 3]
+        p.release(2, pkt)
+        assert p.free_vcs(range(4)) == [0, 1, 2, 3]
+
+    def test_double_reserve_fails(self):
+        p = OutPort(("sw", 0, 1), 2)
+        p.reserve(0, _mk_packet(1))
+        with pytest.raises(AssertionError):
+            p.reserve(0, _mk_packet(2))
+
+    def test_release_wrong_owner_fails(self):
+        p = OutPort(("sw", 0, 1), 2)
+        p.reserve(0, _mk_packet(1))
+        with pytest.raises(AssertionError):
+            p.release(0, _mk_packet(2))
+
+    def test_free_vcs_subset(self):
+        p = OutPort(("sw", 0, 1), 4)
+        p.reserve(1, _mk_packet())
+        assert p.free_vcs((0, 1)) == [0]
+
+
+class TestPacket:
+    def test_latency_requires_delivery(self):
+        pkt = _mk_packet()
+        with pytest.raises(ValueError):
+            _ = pkt.latency_ns
+        pkt.time_delivered = 100.0
+        assert pkt.latency_ns == 100.0
+
+    def test_repr(self):
+        assert "Packet 0" in repr(_mk_packet())

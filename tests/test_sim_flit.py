@@ -1,0 +1,104 @@
+"""Tests for the cycle-driven flit-level reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import (
+    AdaptiveEscapeAdapter,
+    FlitLevelSimulator,
+    NetworkSimulator,
+    SimConfig,
+)
+from repro.topologies import TorusTopology
+from repro.traffic import make_pattern
+
+CFG = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+
+
+def run_flit(topo, load, buffer_flits=None, cfg=CFG, seed=0, pattern="uniform"):
+    routing = DuatoAdaptiveRouting(topo)
+    adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(seed))
+    pat = make_pattern(pattern, topo.n * cfg.hosts_per_switch)
+    return FlitLevelSimulator(topo, adapter, pat, load, cfg, buffer_flits=buffer_flits).run()
+
+
+def run_event(topo, load, cfg=CFG, seed=0, pattern="uniform"):
+    routing = DuatoAdaptiveRouting(topo)
+    adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(seed))
+    pat = make_pattern(pattern, topo.n * cfg.hosts_per_switch)
+    return NetworkSimulator(topo, adapter, pat, load, cfg).run()
+
+
+class TestCrossValidation:
+    """The flit engine and the event engine must agree where their
+    models coincide (VCT, low load)."""
+
+    def test_zero_load_latency_agreement(self):
+        topo = DSNTopology(16)
+        rf = run_flit(topo, 0.5)
+        re = run_event(topo, 0.5)
+        assert rf.avg_latency_ns == pytest.approx(re.avg_latency_ns, rel=0.05)
+
+    def test_zero_load_matches_analytic(self):
+        topo = DSNTopology(16)
+        r = run_flit(topo, 0.5)
+        predicted = CFG.zero_load_latency_ns(r.avg_hops)
+        # cycle quantization rounds the router/link delays up slightly
+        assert r.avg_latency_ns == pytest.approx(predicted, rel=0.05)
+
+    def test_hop_agreement(self):
+        topo = TorusTopology((4, 4))
+        rf = run_flit(topo, 1.0)
+        re = run_event(topo, 1.0)
+        assert rf.avg_hops == pytest.approx(re.avg_hops, abs=0.25)
+
+
+class TestDelivery:
+    def test_all_measured_delivered(self):
+        r = run_flit(DSNTopology(16), 2.0)
+        assert r.delivered_fraction == 1.0
+        assert r.generated_measured > 0
+
+    def test_flit_conservation_under_load(self):
+        """No flits lost even at high load (every measured packet that
+        is delivered has exactly the configured size accounted)."""
+        r = run_flit(DSNTopology(16), 10.0)
+        assert r.delivered_fraction == 1.0
+
+    def test_deterministic(self):
+        a = run_flit(DSNTopology(16), 3.0, seed=5)
+        b = run_flit(DSNTopology(16), 3.0, seed=5)
+        assert a.avg_latency_ns == b.avg_latency_ns
+
+
+class TestWormhole:
+    def test_small_buffers_increase_latency(self):
+        """Buffers below the credit round trip stretch serialization --
+        the classic wormhole stall."""
+        topo = DSNTopology(16)
+        vct = run_flit(topo, 6.0, buffer_flits=33)
+        worm = run_flit(topo, 6.0, buffer_flits=4)
+        assert worm.avg_latency_ns > vct.avg_latency_ns
+
+    def test_wormhole_still_delivers(self):
+        r = run_flit(DSNTopology(16), 8.0, buffer_flits=4)
+        assert r.delivered_fraction == 1.0
+
+    def test_buffer_validation(self):
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, 4, np.random.default_rng(0))
+        pat = make_pattern("uniform", 64)
+        with pytest.raises(ValueError):
+            FlitLevelSimulator(topo, adapter, pat, 1.0, CFG, buffer_flits=0)
+
+
+class TestValidation:
+    def test_pattern_mismatch(self):
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            FlitLevelSimulator(topo, adapter, make_pattern("uniform", 32), 1.0, CFG)

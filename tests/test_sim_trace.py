@@ -1,0 +1,88 @@
+"""Tests for the simulation trace recorder."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DSNTopology
+from repro.routing import DuatoAdaptiveRouting
+from repro.sim import (
+    AdaptiveEscapeAdapter,
+    NetworkSimulator,
+    SimConfig,
+    TraceRecorder,
+)
+from repro.traffic import make_pattern
+
+CFG = SimConfig(warmup_ns=1000, measure_ns=4000, drain_ns=8000, seed=8)
+
+
+def run_traced(max_events=100_000):
+    topo = DSNTopology(16)
+    adapter = AdaptiveEscapeAdapter(
+        DuatoAdaptiveRouting(topo), CFG.num_vcs, np.random.default_rng(0)
+    )
+    tracer = TraceRecorder(max_events=max_events)
+    result = NetworkSimulator(
+        topo, adapter, make_pattern("uniform", 64), 2.0, CFG, tracer=tracer
+    ).run()
+    return result, tracer
+
+
+class TestTraceRecorder:
+    def test_per_packet_times_monotone(self):
+        """Events carry effect-time stamps; within one packet they must
+        be non-decreasing (inject -> hops -> deliver)."""
+        _, tracer = run_traced()
+        assert len(tracer) > 0
+        by_pid = {}
+        for e in tracer.events:
+            by_pid.setdefault(e.pid, []).append(e.time_ns)
+        for times in by_pid.values():
+            assert times == sorted(times)
+
+    def test_every_delivery_has_inject(self):
+        result, tracer = run_traced()
+        injected = {e.pid for e in tracer.events if e.kind == "inject"}
+        delivered = {e.pid for e in tracer.events if e.kind == "deliver"}
+        assert delivered <= injected
+
+    def test_packet_events_complete_lifecycle(self):
+        _, tracer = run_traced()
+        pid = next(e.pid for e in tracer.events if e.kind == "deliver")
+        evs = tracer.packet_events(pid)
+        assert evs[0].kind == "inject"
+        assert evs[-1].kind == "deliver"
+        hops = [e for e in evs if e.kind == "hop"]
+        # hop chain is contiguous through switches
+        at = evs[0].at
+        for h in hops:
+            assert int(h.detail.split()[0].split("=")[1]) == at
+            at = h.at
+
+    def test_latency_breakdown(self):
+        _, tracer = run_traced()
+        pid = next(e.pid for e in tracer.events if e.kind == "deliver")
+        bd = tracer.packet_latency_breakdown(pid)
+        assert bd["total_ns"] > 0
+        assert bd["hops"] >= 0
+
+    def test_breakdown_requires_complete_trace(self):
+        tracer = TraceRecorder()
+        with pytest.raises(ValueError):
+            tracer.packet_latency_breakdown(99)
+
+    def test_truncation(self):
+        _, tracer = run_traced(max_events=10)
+        assert len(tracer) == 10
+        assert tracer.truncated
+
+    def test_save_jsonl(self, tmp_path):
+        _, tracer = run_traced()
+        path = tmp_path / "trace.jsonl"
+        tracer.save_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer)
+        rec = json.loads(lines[0])
+        assert {"t", "kind", "pid", "at", "detail"} <= set(rec)

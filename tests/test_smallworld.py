@@ -1,0 +1,33 @@
+"""Tests for small-world indices."""
+
+import pytest
+
+from repro.analysis import clustering_coefficient, small_world_indices
+from repro.core import DSNTopology
+from repro.topologies import KleinbergTopology, RingTopology, Topology
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        t = Topology(3, [(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(t) == 1.0
+
+    def test_ring_has_zero_clustering(self):
+        assert clustering_coefficient(RingTopology(10)) == 0.0
+
+
+class TestIndices:
+    def test_dsn_path_length_near_random(self):
+        """The DSN design goal: ASPL close to a degree-matched random graph."""
+        idx = small_world_indices(DSNTopology(128), seed=0)
+        assert idx.path_length_ratio < 1.6
+
+    def test_kleinberg_is_small_world_shaped(self):
+        idx = small_world_indices(KleinbergTopology(12, q=1, seed=0), seed=0)
+        assert idx.aspl < 12  # far below the grid's ~8+... lattice scaling
+        assert idx.random_aspl > 0
+
+    def test_fields_consistent(self):
+        idx = small_world_indices(DSNTopology(64), seed=1, samples=2)
+        assert idx.aspl == pytest.approx(3.485, abs=0.01)
+        assert idx.sigma == idx.sigma  # not NaN only if clustering > 0, either ok

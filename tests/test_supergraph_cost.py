@@ -1,0 +1,81 @@
+"""Tests for the super-graph collapse (Fig. 1(c)) and the cost model."""
+
+import pytest
+
+from repro.core import (
+    DSNTopology,
+    super_graph,
+    super_shortcut_spans,
+    verify_dln_collapse,
+)
+from repro.layout import CostModel, interconnect_cost
+from repro.topologies import LinkClass
+
+
+class TestSuperGraph:
+    def test_collapse_verified_aligned_sizes(self):
+        """The paper's Fig. 1(c) claim holds exactly when p | n."""
+        for n in (112, 1020):  # p=7 | 112, p=10 | 1020
+            verify_dln_collapse(DSNTopology(n))
+
+    def test_requires_aligned_size(self):
+        with pytest.raises(ValueError):
+            verify_dln_collapse(DSNTopology(100))  # r = 2
+
+    def test_super_graph_size(self):
+        d = DSNTopology(1024)
+        g = super_graph(d)
+        assert g.n == d.num_super_nodes
+
+    def test_super_ring_links_present(self):
+        d = DSNTopology(112)
+        g = super_graph(d)
+        m = g.n
+        for k in range(m):
+            assert g.has_link(k, (k + 1) % m)
+
+    def test_super_spans_halve_per_level(self):
+        d = DSNTopology(1020)
+        m = d.num_super_nodes
+        spans = super_shortcut_spans(d)
+        means = {l: sum(v) / len(v) for l, v in spans.items()}
+        # each level's span is ~half the previous level's, while spans
+        # are still >= 2 super nodes (below that, integer quantization
+        # of the landing super node dominates)
+        for l in sorted(means):
+            if l + 1 in means and means[l + 1] >= 2:
+                assert means[l + 1] == pytest.approx(means[l] / 2, rel=0.35)
+        # the top level jumps half the super ring
+        assert means[1] == pytest.approx(m / 2, rel=0.1)
+
+    def test_super_graph_keeps_shortcut_class(self):
+        g = super_graph(DSNTopology(112))
+        assert g.links_of_class(LinkClass.SHORTCUT)
+
+
+class TestCostModel:
+    def test_breakdown_sums(self):
+        c = interconnect_cost(DSNTopology(256))
+        assert c.total == pytest.approx(
+            c.switches + c.cables_material + c.cables_fixed + c.installation
+        )
+
+    def test_switch_cost_topology_independent(self):
+        from repro.experiments import paper_trio
+
+        costs = [interconnect_cost(t) for t in paper_trio(256)]
+        assert len({c.switches for c in costs}) == 1
+
+    def test_dsn_cable_cost_below_random(self):
+        from repro.experiments import paper_trio
+
+        torus, random_, dsn = (interconnect_cost(t) for t in paper_trio(1024))
+        assert dsn.cables_material < random_.cables_material
+        # the Section VI-B economy claim, in currency
+        assert dsn.total < random_.total
+
+    def test_custom_prices(self):
+        expensive_cable = CostModel(cable_cost_per_m=1000.0)
+        c1 = interconnect_cost(DSNTopology(256))
+        c2 = interconnect_cost(DSNTopology(256), model=expensive_cable)
+        assert c2.cable_share > c1.cable_share

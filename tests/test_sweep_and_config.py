@@ -1,0 +1,69 @@
+"""Tests for the saturation search and SimConfig derived quantities."""
+
+import pytest
+
+from repro.sim import SimConfig, SimResult, find_saturation
+
+
+def make_result(offered, accepted_ratio, backlog=False):
+    r = SimResult(
+        topology="T", pattern="uniform", offered_gbps=offered,
+        num_hosts=100, measure_window_ns=10_000,
+    )
+    r.delivered_in_window_count = 10_000  # quiet the noise widening
+    r.generated_measured = 100
+    r.delivered_measured = 50 if backlog else 100
+    r.delivered_in_window_bits = accepted_ratio * offered * 10_000 * 100
+    return r
+
+
+class TestFindSaturation:
+    def test_finds_threshold(self):
+        # synthetic network saturating at exactly 10 Gbps/host
+        def run_at(load):
+            return make_result(load, accepted_ratio=1.0 if load <= 10 else 0.5)
+
+        s = find_saturation(run_at, start_gbps=2.0, resolution_gbps=0.5)
+        assert 9.5 <= s.saturation_gbps <= 10.0
+        assert s.first_saturated_gbps > s.saturation_gbps
+
+    def test_never_saturates_returns_cap(self):
+        def run_at(load):
+            return make_result(load, accepted_ratio=1.0)
+
+        s = find_saturation(run_at, start_gbps=4.0, max_gbps=32.0)
+        assert s.saturation_gbps == 32.0
+        assert s.first_saturated_gbps == float("inf")
+
+    def test_backlog_counts_as_saturated(self):
+        def run_at(load):
+            return make_result(load, accepted_ratio=1.0, backlog=load > 6)
+
+        s = find_saturation(run_at, start_gbps=2.0, resolution_gbps=1.0)
+        assert s.saturation_gbps <= 6.5
+
+
+class TestSimConfig:
+    def test_flit_time(self):
+        cfg = SimConfig()
+        assert cfg.flit_time_ns == pytest.approx(256 / 96)
+
+    def test_packet_serialization(self):
+        cfg = SimConfig()
+        assert cfg.packet_serialization_ns == pytest.approx(33 * 256 / 96)
+
+    def test_packets_per_ns(self):
+        cfg = SimConfig()
+        # 8448-bit packets at 8.448 Gbps -> 1e-3 packets/ns
+        assert cfg.packets_per_ns(8.448) == pytest.approx(1e-3)
+
+    def test_zero_load_formula_anchors(self):
+        cfg = SimConfig()
+        # 0 network hops: 1 router + inject/eject links + serialization
+        assert cfg.zero_load_latency_ns(0) == pytest.approx(100 + 40 + 88, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_vcs=0)
+        with pytest.raises(ValueError):
+            SimConfig(packet_flits=0)

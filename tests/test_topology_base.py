@@ -1,0 +1,101 @@
+"""Unit tests for the Topology kernel."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies import Link, LinkClass, Topology
+from repro.topologies.base import directed_channels
+
+
+def triangle():
+    return Topology(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+class TestLink:
+    def test_canonical_order(self):
+        l = Link(5, 2)
+        assert (l.u, l.v) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Link(3, 3)
+
+    def test_other(self):
+        l = Link(1, 4)
+        assert l.other(1) == 4
+        assert l.other(4) == 1
+        with pytest.raises(ValueError):
+            l.other(2)
+
+    def test_equality_includes_class(self):
+        assert Link(0, 1, LinkClass.LOCAL) != Link(0, 1, LinkClass.SHORTCUT)
+        assert Link(0, 1) == Link(1, 0)
+
+
+class TestTopologyConstruction:
+    def test_basic_properties(self):
+        t = triangle()
+        assert t.n == 3
+        assert t.num_links == 3
+        assert t.average_degree == 2.0
+        assert t.degree_census() == {2: 3}
+
+    def test_duplicate_links_collapse_first_class_wins(self):
+        t = Topology(3, [(0, 1, LinkClass.LOCAL), (1, 0, LinkClass.SHORTCUT), (1, 2)])
+        assert t.num_links == 2
+        assert t.link_class(0, 1) is LinkClass.LOCAL
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 3)])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Topology(1, [])
+
+    def test_neighbors_sorted_and_ports(self):
+        t = Topology(4, [(2, 0), (0, 3), (0, 1)])
+        assert t.neighbors(0) == (1, 2, 3)
+        assert t.port_of(0, 2) == 1
+        with pytest.raises(ValueError):
+            t.port_of(1, 2)
+
+    def test_has_link(self):
+        t = triangle()
+        assert t.has_link(0, 2) and t.has_link(2, 0)
+        t2 = Topology(4, [(0, 1), (2, 3)])
+        assert not t2.has_link(0, 2)
+
+
+class TestTopologyExports:
+    def test_adjacency_csr_symmetric(self):
+        t = triangle()
+        a = t.adjacency_csr
+        assert (a != a.T).nnz == 0
+        assert a.sum() == 2 * t.num_links
+
+    def test_to_networkx_preserves_classes(self):
+        t = Topology(3, [(0, 1, LinkClass.SHORTCUT), (1, 2)])
+        g = t.to_networkx()
+        assert isinstance(g, nx.Graph)
+        assert g.edges[0, 1]["cls"] == "shortcut"
+        assert g.number_of_nodes() == 3
+
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        assert not Topology(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_directed_channels(self):
+        chans = directed_channels(triangle())
+        assert len(chans) == 6
+        assert (0, 1) in chans and (1, 0) in chans
+
+    def test_links_of_class(self):
+        t = Topology(4, [(0, 1, LinkClass.LOCAL), (1, 2, LinkClass.SHORTCUT), (2, 3, LinkClass.SHORTCUT)])
+        assert len(t.links_of_class(LinkClass.SHORTCUT)) == 2
+        assert len(t.links_of_class(LinkClass.RANDOM)) == 0
+
+    def test_iteration_and_repr(self):
+        t = triangle()
+        assert list(t) == [0, 1, 2]
+        assert "triangle" in repr(t)

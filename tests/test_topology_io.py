@@ -1,0 +1,62 @@
+"""Tests for topology JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core import DSNTopology
+from repro.topologies import (
+    DLNRandomTopology,
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_dsn_round_trip(self, tmp_path):
+        topo = DSNTopology(64)
+        path = tmp_path / "dsn.json"
+        save_topology(topo, path)
+        back = load_topology(path)
+        assert back.links == topo.links
+        assert back.n == topo.n
+        assert back.name == topo.name
+
+    def test_random_baseline_pinning(self, tmp_path):
+        """The point of the format: persist the exact random baseline."""
+        topo = DLNRandomTopology(64, seed=123)
+        path = tmp_path / "rand.json"
+        save_topology(topo, path)
+        assert load_topology(path).links == topo.links
+
+    def test_dict_round_trip_preserves_classes(self):
+        topo = DSNTopology(32)
+        back = topology_from_dict(topology_to_dict(topo))
+        from repro.topologies import LinkClass
+
+        assert len(back.links_of_class(LinkClass.SHORTCUT)) == len(
+            topo.links_of_class(LinkClass.SHORTCUT)
+        )
+
+
+class TestIntegrity:
+    def test_checksum_detects_tampering(self, tmp_path):
+        topo = DSNTopology(32)
+        path = tmp_path / "t.json"
+        save_topology(topo, path)
+        data = json.loads(path.read_text())
+        data["links"][0][1] = 5  # rewire a link
+        with pytest.raises(ValueError, match="checksum"):
+            topology_from_dict(data)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            topology_from_dict({"format": "something-else"})
+
+    def test_missing_checksum_tolerated(self):
+        topo = DSNTopology(32)
+        data = topology_to_dict(topo)
+        del data["sha256"]
+        assert topology_from_dict(data).n == 32

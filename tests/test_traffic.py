@@ -1,0 +1,137 @@
+"""Tests for synthetic traffic patterns (Section VII-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    BitComplementTraffic,
+    BitReversalTraffic,
+    HotspotTraffic,
+    NeighboringTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+    make_pattern,
+)
+from repro.util import bit_reverse
+
+
+class TestUniform:
+    def test_never_self(self):
+        p = UniformTraffic(16)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            src = int(rng.integers(16))
+            assert p.destination(src, rng) != src
+
+    def test_covers_all_destinations(self):
+        p = UniformTraffic(8)
+        rng = np.random.default_rng(0)
+        seen = {p.destination(0, rng) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+
+class TestBitReversal:
+    def test_fixed_permutation(self):
+        p = BitReversalTraffic(256)
+        rng = np.random.default_rng(0)
+        for src in range(256):
+            if bit_reverse(src, 8) != src:
+                assert p.destination(src, rng) == bit_reverse(src, 8)
+
+    def test_palindromes_fall_back_to_uniform(self):
+        p = BitReversalTraffic(16)
+        rng = np.random.default_rng(0)
+        # 0b0000 reverses to itself
+        assert p.destination(0, rng) != 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitReversalTraffic(100)
+
+
+class TestBitComplement:
+    def test_permutation(self):
+        p = BitComplementTraffic(64)
+        rng = np.random.default_rng(0)
+        assert p.destination(0, rng) == 63
+        assert p.destination(21, rng) == 42
+
+
+class TestTranspose:
+    def test_permutation(self):
+        p = TransposeTraffic(16)  # 4-bit addresses, halves of 2
+        rng = np.random.default_rng(0)
+        # src = 0b0110 -> 0b1001
+        assert p.destination(0b0110, rng) == 0b1001
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            TransposeTraffic(32)  # 5 bits
+
+
+class TestNeighboring:
+    def test_layout_dimensions(self):
+        p = NeighboringTraffic(256)
+        assert p.rows * p.cols == 256
+
+    def test_mostly_local(self):
+        p = NeighboringTraffic(256, local_fraction=0.9)
+        rng = np.random.default_rng(1)
+        local = 0
+        trials = 2000
+        src = 100
+        r, c = divmod(src, p.cols)
+        neighbors = set(p._neighbors[src])
+        for _ in range(trials):
+            if p.destination(src, rng) in neighbors:
+                local += 1
+        assert local / trials > 0.85
+
+    def test_neighbors_are_adjacent(self):
+        p = NeighboringTraffic(64)
+        for h in range(64):
+            r, c = divmod(h, p.cols)
+            for nb in p._neighbors[h]:
+                nr, nc = divmod(nb, p.cols)
+                assert abs(nr - r) + abs(nc - c) == 1
+
+    def test_local_fraction_validation(self):
+        with pytest.raises(ValueError):
+            NeighboringTraffic(64, local_fraction=1.5)
+
+
+class TestHotspot:
+    def test_hotspot_receives_extra(self):
+        p = HotspotTraffic(64, hotspots=[7], fraction=0.5)
+        rng = np.random.default_rng(0)
+        hits = sum(p.destination(3, rng) == 7 for _ in range(1000))
+        assert hits > 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(16, hotspots=[16])
+        with pytest.raises(ValueError):
+            HotspotTraffic(16, fraction=2.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["uniform", "bit_reversal", "neighboring", "transpose"])
+    def test_known_names(self, name):
+        p = make_pattern(name, 256)
+        assert p.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            make_pattern("nope", 64)
+
+    @settings(max_examples=20)
+    @given(st.sampled_from(["uniform", "neighboring"]), st.integers(min_value=2, max_value=500))
+    def test_destination_in_range(self, name, hosts):
+        p = make_pattern(name, hosts)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            src = int(rng.integers(hosts))
+            dst = p.destination(src, rng)
+            assert 0 <= dst < hosts and dst != src

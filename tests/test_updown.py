@@ -1,0 +1,101 @@
+"""Tests for up*/down* routing (legality, reachability, deadlock freedom)."""
+
+import pytest
+
+from repro.analysis import shortest_path_matrix
+from repro.core import DSNTopology
+from repro.routing import UpDownRouting, assert_deadlock_free
+from repro.topologies import RingTopology, TorusTopology
+
+
+@pytest.fixture(scope="module")
+def dsn64_ud():
+    return UpDownRouting(DSNTopology(64))
+
+
+class TestChannelOrientation:
+    def test_antisymmetric(self, dsn64_ud):
+        topo = dsn64_ud.topo
+        for link in topo.links:
+            assert dsn64_ud.is_up(link.u, link.v) != dsn64_ud.is_up(link.v, link.u)
+
+    def test_root_has_no_up_out(self, dsn64_ud):
+        root = dsn64_ud.root
+        for v in dsn64_ud.topo.neighbors(root):
+            assert not dsn64_ud.is_up(root, v)
+            assert dsn64_ud.is_up(v, root)
+
+
+class TestPaths:
+    def test_all_pairs_legal(self, dsn64_ud):
+        n = dsn64_ud.topo.n
+        for s in range(n):
+            for t in range(n):
+                if s == t:
+                    continue
+                p = dsn64_ud.path(s, t)
+                assert p[0] == s and p[-1] == t
+                gone_down = False
+                for a, b in zip(p, p[1:]):
+                    up = dsn64_ud.is_up(a, b)
+                    assert not (up and gone_down), (s, t, p)
+                    gone_down = gone_down or not up
+
+    def test_at_least_graph_distance(self, dsn64_ud):
+        dist = shortest_path_matrix(dsn64_ud.topo)
+        n = dsn64_ud.topo.n
+        for s in range(0, n, 7):
+            for t in range(0, n, 5):
+                if s != t:
+                    assert dsn64_ud.distance(s, t) >= dist[s, t]
+
+    def test_average_ge_minimal(self, dsn64_ud):
+        from repro.analysis import average_shortest_path_length
+
+        assert dsn64_ud.average_path_length() >= average_shortest_path_length(dsn64_ud.topo)
+
+    def test_next_hops_progress(self, dsn64_ud):
+        n = dsn64_ud.topo.n
+        for s in range(0, n, 9):
+            for t in range(0, n, 11):
+                if s == t:
+                    continue
+                hops = dsn64_ud.next_hops(s, t)
+                assert hops
+                for v, down in hops:
+                    assert dsn64_ud.topo.has_link(s, v)
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("topo_factory", [
+        lambda: DSNTopology(64),
+        lambda: TorusTopology((8, 8)),
+        lambda: RingTopology(16),
+    ])
+    def test_cdg_acyclic(self, topo_factory):
+        topo = topo_factory()
+        ud = UpDownRouting(topo)
+        routes = []
+        for s in range(topo.n):
+            for t in range(topo.n):
+                if s != t:
+                    p = ud.path(s, t)
+                    routes.append([(a, b, "ud") for a, b in zip(p, p[1:])])
+        assert_deadlock_free(routes)
+
+
+class TestConfiguration:
+    def test_explicit_root(self):
+        ud = UpDownRouting(RingTopology(8), root=3)
+        assert ud.root == 3
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            UpDownRouting(RingTopology(8), root=8)
+
+    def test_disconnected_rejected(self):
+        from repro.topologies import Topology
+
+        t = Topology(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            UpDownRouting(t)

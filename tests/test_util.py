@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.util."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    bit_reverse,
+    ceil_div,
+    check_index,
+    check_positive,
+    check_range,
+    clockwise_distance,
+    format_table,
+    ilog2_ceil,
+    ilog2_floor,
+    is_power_of_two,
+    make_rng,
+    ring_distance,
+)
+
+
+class TestIntLog:
+    @given(st.integers(min_value=1, max_value=2**60))
+    def test_floor_definition(self, v):
+        k = ilog2_floor(v)
+        assert 2**k <= v < 2 ** (k + 1)
+
+    @given(st.integers(min_value=1, max_value=2**60))
+    def test_ceil_definition(self, v):
+        k = ilog2_ceil(v)
+        assert 2 ** (k - 1) < v <= 2**k or (v == 1 and k == 0)
+
+    def test_powers_of_two_agree(self):
+        for e in range(20):
+            assert ilog2_floor(2**e) == ilog2_ceil(2**e) == e
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            ilog2_floor(bad)
+        with pytest.raises(ValueError):
+            ilog2_ceil(bad)
+
+
+class TestPowerOfTwo:
+    def test_known_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(1023)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_all_powers(self, e):
+        assert is_power_of_two(2**e)
+
+
+class TestCeilDiv:
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceil(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10**6))
+    def test_definition(self, a, b):
+        q = ceil_div(a, b)
+        assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+
+class TestBitReverse:
+    def test_known(self):
+        assert bit_reverse(0b0001, 4) == 0b1000
+        assert bit_reverse(0b1011, 4) == 0b1101
+        assert bit_reverse(0, 8) == 0
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_involution(self, width, data):
+        v = data.draw(st.integers(min_value=0, max_value=2**width - 1))
+        assert bit_reverse(bit_reverse(v, width), width) == v
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse(16, 4)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 4)
+
+
+class TestRingDistances:
+    @given(
+        st.integers(min_value=3, max_value=10**6),
+        st.data(),
+    )
+    def test_symmetry_and_bounds(self, n, data):
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        d = ring_distance(a, b, n)
+        assert d == ring_distance(b, a, n)
+        assert 0 <= d <= n // 2
+
+    @given(st.integers(min_value=3, max_value=10**6), st.data())
+    def test_clockwise_plus_counterclockwise(self, n, data):
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        if a != b:
+            assert clockwise_distance(a, b, n) + clockwise_distance(b, a, n) == n
+        else:
+            assert clockwise_distance(a, b, n) == 0
+
+    def test_known(self):
+        assert clockwise_distance(5, 2, 8) == 5
+        assert ring_distance(5, 2, 8) == 3
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out and "3.250" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_range(self):
+        check_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_range("x", 11, 0, 10)
+
+    def test_check_index(self):
+        check_index("x", 0, 5)
+        with pytest.raises(ValueError):
+            check_index("x", 5, 5)
+        with pytest.raises(ValueError):
+            check_index("x", -1, 5)

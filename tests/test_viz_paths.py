@@ -1,0 +1,73 @@
+"""Tests for path diversity analysis and terminal visualization."""
+
+import pytest
+
+from repro.analysis import path_diversity
+from repro.core import DSNTopology, dsn_route
+from repro.topologies import RingTopology, TorusTopology
+from repro.viz import ascii_plot, dsn_ring_diagram, route_diagram
+
+
+class TestPathDiversity:
+    def test_ring_has_two_disjoint_paths(self):
+        d = path_diversity(RingTopology(16), sample_pairs=50, seed=0)
+        assert d.mean_disjoint_paths == 2.0
+        assert d.min_disjoint_paths == 2
+        assert d.mean_minimal_paths >= 1.0
+
+    def test_torus_disjoint_equals_degree(self):
+        d = path_diversity(TorusTopology((4, 4)), sample_pairs=None)
+        assert d.min_disjoint_paths == 4  # 4-regular, 4-connected
+
+    def test_dsn_diversity_at_least_min_degree(self):
+        d = path_diversity(DSNTopology(64), sample_pairs=100, seed=1)
+        assert d.min_disjoint_paths >= 2
+        assert d.pairs == 100
+
+    def test_torus_minimal_count_exceeds_random_like(self):
+        torus = path_diversity(TorusTopology((8, 8)), sample_pairs=100, seed=0)
+        ring = path_diversity(RingTopology(64), sample_pairs=100, seed=0)
+        assert torus.mean_minimal_paths > ring.mean_minimal_paths
+
+
+class TestRingDiagram:
+    def test_contains_levels_and_shortcuts(self):
+        t = DSNTopology(32)
+        out = dsn_ring_diagram(t, max_nodes=10)
+        assert "L1" in out and "-->" in out
+        assert "more nodes" in out
+
+    def test_full_render_small(self):
+        t = DSNTopology(16)
+        out = dsn_ring_diagram(t, max_nodes=16)
+        assert "more nodes" not in out
+        assert out.count("\n") == 16  # header + 16 node rows
+
+
+class TestRouteDiagram:
+    def test_phases_visible(self):
+        t = DSNTopology(64)
+        r = dsn_route(t, 3, 40)
+        out = route_diagram(t, r)
+        assert "main" in out
+        assert "=>" in out or "->" in out
+        assert f"route 3 -> 40 ({r.length} hops)" in out
+
+
+class TestAsciiPlot:
+    def test_renders_all_series(self):
+        out = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out and "x" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_plot([0, 1], {"flat": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {})
+
+    def test_nan_skipped(self):
+        out = ascii_plot([1, 2], {"a": [1.0, float("nan")]})
+        assert "o = a" in out
