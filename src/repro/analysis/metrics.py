@@ -98,8 +98,14 @@ class GraphMetrics:
 
 
 def analyze(topo: Topology) -> GraphMetrics:
-    """Compute the full metric summary for one topology."""
-    dist = shortest_path_matrix(topo)
+    """Compute the full metric summary for one topology.
+
+    The distance matrix goes through :mod:`repro.cache`, so repeated
+    analysis of the same topology (e.g. the Fig. 7 and Fig. 8 sweeps
+    back to back) pays for one BFS."""
+    from repro import cache  # deferred: cache sits above this module
+
+    dist = cache.distance_matrix(topo)
     return GraphMetrics(
         name=topo.name,
         n=topo.n,

@@ -58,7 +58,7 @@ def path_diversity(
     """
     # Imported here: routing.table depends on analysis.metrics, so a
     # top-level import would make the analysis package circular.
-    from repro.routing.table import ShortestPathTable
+    from repro import cache
 
     rng = make_rng(seed)
     n = topo.n
@@ -71,8 +71,7 @@ def path_diversity(
             if s != t:
                 pairs.append((s, t))
 
-    table = ShortestPathTable(topo)
-    counts = table.path_count_matrix()
+    counts = cache.path_count_matrix(topo)
 
     g = topo.to_networkx()
     for u, v in g.edges:

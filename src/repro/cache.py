@@ -1,0 +1,359 @@
+"""Per-topology artifact cache: compute once, reuse everywhere.
+
+Every figure of the paper is driven by the same handful of expensive
+per-topology artifacts -- the all-pairs distance matrix, the minimal
+next-hop table, the minimal-path-count matrix and the up*/down* escape
+tables -- yet the seed code recomputed them independently at every call
+site. This module memoizes them behind a stable *topology fingerprint*
+(name, n, hash of the sorted edge list with link classes), with two
+tiers:
+
+* an in-process LRU (always on; capacity ``REPRO_CACHE_MEM`` entries,
+  default 128), shared by all call sites in ``routing/``, ``sim/``,
+  ``experiments/`` and ``analysis/``;
+* an optional on-disk ``.npz`` tier enabled by setting
+  ``REPRO_CACHE_DIR`` -- this is what lets ``parallel_map`` worker
+  processes and repeated CLI invocations share one precomputation.
+
+Set ``REPRO_CACHE=off`` to bypass both tiers (the seed behaviour).
+Artifacts are derived deterministically from the topology, so a cache
+hit returns bit-identical arrays to a fresh computation; the
+determinism tests in ``tests/test_cache.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.topologies.base import Topology
+
+__all__ = [
+    "CacheStats",
+    "topology_fingerprint",
+    "distance_matrix",
+    "shortest_path_table",
+    "path_count_matrix",
+    "updown_routing",
+    "memo_topology",
+    "cache_enabled",
+    "cache_stats",
+    "reset_cache_stats",
+    "clear_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for both cache tiers."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    disk_stores: int = 0
+    evictions: int = 0
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(
+            self.memory_hits, self.disk_hits, self.misses, self.disk_stores, self.evictions
+        )
+
+
+_stats = CacheStats()
+_lock = threading.RLock()
+_memory: OrderedDict[tuple, object] = OrderedDict()
+
+_FP_ATTR = "_repro_fingerprint"
+
+
+# ----------------------------------------------------------------------
+# configuration (read from the environment at call time so tests and the
+# bench harness can toggle tiers without reimporting)
+# ----------------------------------------------------------------------
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` is set to ``off``/``0``/``false``."""
+    return os.environ.get("REPRO_CACHE", "on").strip().lower() not in ("off", "0", "false")
+
+
+def _cache_dir() -> str | None:
+    d = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return d or None
+
+
+def _memory_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_CACHE_MEM", "128")))
+    except ValueError:
+        return 128
+
+
+def cache_stats() -> CacheStats:
+    """Snapshot of the counters (monotonic since process start/reset)."""
+    with _lock:
+        return _stats.copy()
+
+
+def reset_cache_stats() -> None:
+    with _lock:
+        _stats.__init__()
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process tier (and optionally the disk tier)."""
+    with _lock:
+        _memory.clear()
+    if disk:
+        d = _cache_dir()
+        if d and os.path.isdir(d):
+            for name in os.listdir(d):
+                if name.endswith(".npz"):
+                    os.unlink(os.path.join(d, name))
+
+
+# ----------------------------------------------------------------------
+# fingerprint
+# ----------------------------------------------------------------------
+def topology_fingerprint(topo: Topology) -> str:
+    """Stable identity of a topology: name, n, sorted edge+class hash.
+
+    Two independently built topologies with the same construction
+    parameters (and seed, for random families) fingerprint identically;
+    the digest is cached on the (immutable) topology object.
+    """
+    fp = getattr(topo, _FP_ATTR, None)
+    if fp is not None:
+        return fp
+    h = hashlib.sha256()
+    h.update(topo.name.encode())
+    h.update(str(topo.n).encode())
+    edges = np.array([(l.u, l.v) for l in topo.links], dtype=np.int64)
+    h.update(edges.tobytes())
+    h.update("|".join(l.cls.value for l in topo.links).encode())
+    fp = h.hexdigest()[:32]
+    try:
+        setattr(topo, _FP_ATTR, fp)
+    except AttributeError:  # __slots__ subclass; just recompute next time
+        pass
+    return fp
+
+
+# ----------------------------------------------------------------------
+# tier plumbing
+# ----------------------------------------------------------------------
+def _memory_get(key: tuple):
+    with _lock:
+        if key in _memory:
+            _memory.move_to_end(key)
+            _stats.memory_hits += 1
+            return _memory[key]
+    return None
+
+
+def _memory_put(key: tuple, value) -> None:
+    with _lock:
+        _memory[key] = value
+        _memory.move_to_end(key)
+        cap = _memory_capacity()
+        while len(_memory) > cap:
+            _memory.popitem(last=False)
+            _stats.evictions += 1
+
+
+def _disk_load(stem: str) -> dict | None:
+    d = _cache_dir()
+    if d is None:
+        return None
+    path = os.path.join(d, stem + ".npz")
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path) as z:
+            return {k: z[k] for k in z.files}
+    except (OSError, ValueError):  # truncated/corrupt entry: recompute
+        return None
+
+
+def _disk_store(stem: str, arrays: dict) -> None:
+    d = _cache_dir()
+    if d is None:
+        return
+    try:
+        os.makedirs(d, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=d, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, os.path.join(d, stem + ".npz"))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        with _lock:
+            _stats.disk_stores += 1
+    except OSError:  # read-only/full disk: caching stays best-effort
+        pass
+
+
+def _get(
+    key: tuple,
+    stem: str | None,
+    compute: Callable[[], object],
+    pack: Callable[[object], dict] | None = None,
+    unpack: Callable[[dict], object] | None = None,
+):
+    """Memory -> disk -> compute (then backfill both tiers)."""
+    if not cache_enabled():
+        return compute()
+    value = _memory_get(key)
+    if value is not None:
+        return value
+    if stem is not None and unpack is not None:
+        raw = _disk_load(stem)
+        if raw is not None:
+            value = unpack(raw)
+            with _lock:
+                _stats.disk_hits += 1
+            _memory_put(key, value)
+            return value
+    with _lock:
+        _stats.misses += 1
+    value = compute()
+    _memory_put(key, value)
+    if stem is not None and pack is not None:
+        _disk_store(stem, pack(value))
+    return value
+
+
+# ----------------------------------------------------------------------
+# distance matrix
+# ----------------------------------------------------------------------
+def _pack_dist(dist: np.ndarray) -> dict:
+    if np.isfinite(dist).all() and dist.max() < np.iinfo(np.int16).max:
+        return {"dist_i16": dist.astype(np.int16)}
+    return {"dist_f64": dist}
+
+
+def _unpack_dist(raw: dict) -> np.ndarray:
+    if "dist_i16" in raw:
+        return raw["dist_i16"].astype(np.float64)
+    return raw["dist_f64"]
+
+
+def distance_matrix(topo: Topology) -> np.ndarray:
+    """All-pairs hop-count matrix (float64, ``inf`` for disconnected
+    pairs), identical to :func:`repro.analysis.metrics.shortest_path_matrix`."""
+    from repro.analysis.metrics import shortest_path_matrix
+
+    fp = topology_fingerprint(topo)
+    return _get(
+        (fp, "dist"),
+        f"{fp}-dist",
+        lambda: shortest_path_matrix(topo),
+        pack=_pack_dist,
+        unpack=_unpack_dist,
+    )
+
+
+# ----------------------------------------------------------------------
+# minimal routing table (+ CSR next-hop arrays)
+# ----------------------------------------------------------------------
+def shortest_path_table(topo: Topology):
+    """Shared :class:`repro.routing.table.ShortestPathTable` with its
+    next-hop CSR table prebuilt (and disk-cached)."""
+    from repro.routing.table import ShortestPathTable
+
+    fp = topology_fingerprint(topo)
+    key = (fp, "spt")
+    table = _memory_get(key)
+    if table is not None:
+        return table
+
+    dist = distance_matrix(topo)
+    table = ShortestPathTable(topo, dist=dist)
+    nh = _get(
+        (fp, "nh"),
+        f"{fp}-nexthop",
+        lambda: table.next_hop_arrays(),
+        pack=lambda v: {"indptr": v[0], "indices": v[1]},
+        unpack=lambda raw: (raw["indptr"], raw["indices"]),
+    )
+    table.set_next_hop_arrays(*nh)
+    if cache_enabled():
+        _memory_put(key, table)
+    return table
+
+
+def path_count_matrix(topo: Topology) -> np.ndarray:
+    """Minimal-path-count matrix (float64, exact integers)."""
+    fp = topology_fingerprint(topo)
+    return _get(
+        (fp, "pcm"),
+        f"{fp}-pathcount",
+        lambda: shortest_path_table(topo).path_count_matrix(),
+        pack=lambda v: {"counts": v},
+        unpack=lambda raw: raw["counts"],
+    )
+
+
+# ----------------------------------------------------------------------
+# up*/down* escape tables (the acyclic escape CDG of Section VII-A)
+# ----------------------------------------------------------------------
+def updown_routing(topo: Topology, root: int | None = None):
+    """Shared :class:`repro.routing.updown.UpDownRouting` instance."""
+    from repro.routing.updown import UpDownRouting
+
+    fp = topology_fingerprint(topo)
+    key = (fp, "updown", -1 if root is None else int(root))
+
+    def compute():
+        return UpDownRouting(topo, root=root)
+
+    def pack(ud) -> dict:
+        return {
+            "root": np.int64(ud.root),
+            "depth": ud._depth.astype(np.int32),
+            "next_node": ud._next_node.astype(np.int32),
+            "next_phase": ud._next_phase.astype(np.int8),
+            "dist": ud._dist.astype(np.int32),
+        }
+
+    def unpack(raw: dict):
+        return UpDownRouting._restore(
+            topo,
+            int(raw["root"]),
+            raw["depth"].astype(np.int64),
+            raw["next_node"].astype(np.int32),
+            raw["next_phase"].astype(np.int8),
+            raw["dist"].astype(np.int32),
+        )
+
+    stem = f"{fp}-updown{'' if root is None else root}"
+    return _get(key, stem, compute, pack=pack, unpack=unpack)
+
+
+# ----------------------------------------------------------------------
+# in-process topology memoization (recipe-keyed; objects are immutable)
+# ----------------------------------------------------------------------
+def memo_topology(recipe: tuple, builder: Callable[[], Topology]) -> Topology:
+    """Memoize a deterministic topology construction by its recipe
+    (e.g. ``(kind, n, seed)``). In-process only: rebuilding from a
+    recipe is cheap relative to the artifacts, and returning the same
+    object lets every artifact lookup above short-circuit on the
+    fingerprint already stamped on it."""
+    if not cache_enabled():
+        return builder()
+    key = ("topo",) + recipe
+    topo = _memory_get(key)
+    if topo is None:
+        with _lock:
+            _stats.misses += 1
+        topo = builder()
+        _memory_put(key, topo)
+    return topo

@@ -15,6 +15,7 @@ regenerated without writing code:
   robustness   link-failure degradation and bisection bounds
   placement    cabinet-placement optimization gains (refs [7], [11])
   claims       machine-checked scorecard of every quantitative claim
+  bench        benchmark smoke: timed sweep + cache/engine regression gate
 = =========== =====================================================
 """
 
@@ -30,6 +31,14 @@ __all__ = ["main", "build_parser"]
 
 def _sizes(arg: str) -> tuple[int, ...]:
     return tuple(int(s) for s in arg.split(","))
+
+
+def _workers(arg: str) -> int:
+    if arg.strip().lower() == "auto":
+        import os
+
+        return os.cpu_count() or 1
+    return max(0, int(arg))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
         sp = sub.add_parser(name, help=help_)
         sp.add_argument("--sizes", type=_sizes, default=(32, 64, 128, 256, 512, 1024, 2048))
         sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--workers", type=_workers, default=None,
+                        help="process-pool size (or 'auto'); default REPRO_WORKERS")
 
     f10 = sub.add_parser("fig10", help="latency vs accepted traffic (simulation)")
     f10.add_argument("--pattern", default="uniform",
@@ -61,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     f10.add_argument("--n", type=int, default=64)
     f10.add_argument("--full", action="store_true", help="paper-scale windows")
     f10.add_argument("--seed", type=int, default=1)
+    f10.add_argument("--workers", type=_workers, default=None,
+                     help="process-pool size (or 'auto'); default REPRO_WORKERS")
+
+    bench = sub.add_parser("bench", help="benchmark smoke: timed sweep + regression checks")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes only (the CI configuration)")
+    bench.add_argument("--out", default="BENCH_pr.json", help="where to write the timings")
+    bench.add_argument("--workers", type=_workers, default=None,
+                       help="process-pool size for the parallel identity check")
+    bench.add_argument("--tier1", action="store_true",
+                       help="also run the tier-1 pytest suite and fail on regressions")
 
     th = sub.add_parser("theory", help="validate Section IV-C bounds")
     th.add_argument("--sizes", type=_sizes, default=(64, 100, 250, 1024))
@@ -121,13 +143,13 @@ def _cmd_hop_sweep(args, which: str) -> None:
 
     fn = fig7_diameter if which == "fig7" else fig8_aspl
     title = "Figure 7: diameter (hops)" if which == "fig7" else "Figure 8: ASPL (hops)"
-    print(format_hop_sweep(fn(sizes=args.sizes, seed=args.seed), title))
+    print(format_hop_sweep(fn(sizes=args.sizes, seed=args.seed, workers=args.workers), title))
 
 
 def _cmd_fig9(args) -> None:
     from repro.experiments import fig9_cable, format_cable_sweep
 
-    print(format_cable_sweep(fig9_cable(sizes=args.sizes, seed=args.seed),
+    print(format_cable_sweep(fig9_cable(sizes=args.sizes, seed=args.seed, workers=args.workers),
                              "Figure 9: average cable length (m)"))
 
 
@@ -139,7 +161,8 @@ def _cmd_fig10(args) -> None:
     config = SimConfig() if args.full else SimConfig(
         warmup_ns=4000, measure_ns=12000, drain_ns=24000
     )
-    curves = fig10(args.pattern, loads=args.loads, n=args.n, config=config, seed=args.seed)
+    curves = fig10(args.pattern, loads=args.loads, n=args.n, config=config, seed=args.seed,
+                   workers=args.workers)
     print(format_curves(curves, f"Figure 10 ({args.pattern})"))
     if len(args.loads) > 1:
         print()
@@ -252,6 +275,15 @@ def _cmd_claims(_args) -> None:
     print("\nall claims reproduced")
 
 
+def _cmd_bench(args) -> None:
+    from repro.experiments.bench import run_bench
+
+    ok = run_bench(quick=args.quick, out=args.out, workers=args.workers, tier1=args.tier1)
+    if not ok:
+        print("\nbenchmark smoke FAILED", file=sys.stderr)
+        sys.exit(1)
+
+
 def _cmd_diagram(args) -> None:
     from repro.core import DSNTopology, dsn_route
     from repro.viz import dsn_ring_diagram, route_diagram
@@ -292,6 +324,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "report": _cmd_report,
         "diagram": _cmd_diagram,
         "claims": _cmd_claims,
+        "bench": _cmd_bench,
     }
     handlers[args.command](args)
 

@@ -17,6 +17,7 @@ from repro.experiments.latency import (
     fig10,
     format_curves,
     run_curve,
+    saturation_search,
 )
 from repro.experiments.related import (
     GreedyComparison,
@@ -55,6 +56,7 @@ __all__ = [
     "LatencyCurve",
     "fig10",
     "run_curve",
+    "saturation_search",
     "format_curves",
     "DEFAULT_LOADS",
     "DegreeCheck",

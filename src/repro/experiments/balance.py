@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import cache
 from repro.analysis import LoadStats, channel_loads, load_stats
 from repro.core import DSNVTopology, dsn_route_extended
-from repro.routing import ShortestPathTable, UpDownRouting
 from repro.util import format_table
 
 __all__ = ["BalanceComparison", "compare_balance", "format_balance"]
@@ -42,10 +42,10 @@ def compare_balance(n: int = 64, seed: int = 0) -> BalanceComparison:
 
     custom_loads = channel_loads(topo, lambda s, t: dsn_route_extended(topo, s, t).path)
 
-    ud = UpDownRouting(topo)
+    ud = cache.updown_routing(topo)
     ud_loads = channel_loads(topo, ud.path)
 
-    table = ShortestPathTable(topo)
+    table = cache.shortest_path_table(topo)
     min_loads = channel_loads(topo, lambda s, t: table.path(s, t, seed=seed))
 
     return BalanceComparison(

@@ -1,0 +1,160 @@
+"""Benchmark smoke driver: ``python -m repro bench``.
+
+One command that (a) times the metric sweep cold vs warm so the
+artifact cache's speedup is demonstrated on every run, (b) checks the
+outputs are *identical* across cold/warm and serial/parallel execution
+(caching and process pools must never change results), (c)
+cross-validates the event-driven and flit-level engines at zero load,
+and (d) optionally runs the tier-1 pytest suite. The timings land in a
+``BENCH_*.json`` evidence file (see :mod:`repro.util.profiling`).
+
+Exit is non-zero when an identity check, the cross-validation, or the
+tier-1 suite fails -- this is the CI regression gate for the fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+__all__ = ["run_bench", "QUICK_SIZES", "FULL_SIZES"]
+
+#: Sweep sizes of the quick (CI) configuration.
+QUICK_SIZES = (32, 64, 128, 256)
+#: Sweep sizes of the full configuration.
+FULL_SIZES = (32, 64, 128, 256, 512, 1024)
+
+#: Engines must agree on zero-load latency within this relative error.
+CROSSVAL_RTOL = 0.05
+
+
+def _sweep_rows(sizes, workers=None):
+    """Both hop sweeps (Figs. 7-8) as one comparable row list."""
+    from repro.experiments.graphs import hop_sweep
+
+    rows = []
+    for metric in ("diameter", "aspl"):
+        for r in hop_sweep(metric, sizes=sizes, workers=workers):
+            rows.append((metric, r.n, tuple(sorted(r.values.items()))))
+    return rows
+
+
+def _crossval_zero_load():
+    """Event vs flit engine at low load on a small DSN (both latencies)."""
+    from repro.core import DSNTopology
+    from repro.routing import DuatoAdaptiveRouting
+    from repro.sim import (
+        AdaptiveEscapeAdapter,
+        FlitLevelSimulator,
+        NetworkSimulator,
+        SimConfig,
+    )
+    from repro.traffic import make_pattern
+
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+    topo = DSNTopology(16)
+
+    def run(engine):
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(0))
+        pattern = make_pattern("uniform", topo.n * cfg.hosts_per_switch)
+        return engine(topo, adapter, pattern, 0.5, cfg).run()
+
+    return run(NetworkSimulator), run(FlitLevelSimulator)
+
+
+def run_bench(
+    quick: bool = False,
+    out: str = "BENCH_pr.json",
+    workers: int | None = None,
+    tier1: bool = False,
+) -> bool:
+    """Run the benchmark smoke; returns True when every check passes."""
+    from repro import cache
+    from repro.util.profiling import StageTimer
+
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    workers = workers or 4
+    timer = StageTimer()
+    checks: dict[str, bool] = {}
+    saved = {k: os.environ.get(k) for k in ("REPRO_CACHE", "REPRO_CACHE_DIR")}
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        # --- cold: caching off entirely (the seed's behaviour) --------
+        os.environ["REPRO_CACHE"] = "off"
+        cache.clear_cache()
+        with timer.stage("metric_sweep_cold"):
+            rows_cold = _sweep_rows(sizes)
+
+        # --- warm: disk tier + in-process memo ------------------------
+        os.environ["REPRO_CACHE"] = "on"
+        os.environ["REPRO_CACHE_DIR"] = tmpdir
+        cache.clear_cache()
+        with timer.stage("metric_sweep_populate"):
+            _sweep_rows(sizes)
+        with timer.stage("metric_sweep_warm"):
+            rows_warm = _sweep_rows(sizes)
+        checks["identity_cold_vs_warm"] = rows_cold == rows_warm
+
+        # --- parallel: worker processes read the shared disk tier -----
+        with timer.stage(f"metric_sweep_parallel_w{workers}"):
+            rows_par = _sweep_rows(sizes, workers=workers)
+        checks["identity_serial_vs_parallel"] = rows_warm == rows_par
+
+        # --- engine cross-validation at zero load ---------------------
+        with timer.stage("crossval_zero_load"):
+            ev, fl = _crossval_zero_load()
+        rel = abs(fl.avg_latency_ns - ev.avg_latency_ns) / ev.avg_latency_ns
+        checks["crossval_zero_load_latency"] = rel <= CROSSVAL_RTOL
+
+        if tier1:
+            import subprocess
+
+            import repro
+
+            src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+            env = dict(os.environ)
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+            with timer.stage("tier1_pytest"):
+                proc = subprocess.run(
+                    [sys.executable, "-m", "pytest", "-x", "-q"], env=env
+                )
+            checks["tier1_tests"] = proc.returncode == 0
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        import shutil
+
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    cold = timer["metric_sweep_cold"]
+    warm = timer["metric_sweep_warm"]
+    speedup = cold / warm if warm > 0 else float("inf")
+    ok = all(checks.values())
+    timer.write(
+        out,
+        extra={
+            "config": "quick" if quick else "full",
+            "sizes": list(sizes),
+            "workers": workers,
+            "speedup_warm_vs_cold": round(speedup, 2),
+            "crossval_rel_error": round(rel, 4),
+            "checks": checks,
+            "ok": ok,
+        },
+    )
+
+    print(timer.summary())
+    print(f"\nwarm-vs-cold sweep speedup: {speedup:.2f}x")
+    print(f"engine cross-validation rel error: {rel:.2%} (tolerance {CROSSVAL_RTOL:.0%})")
+    for name, passed in checks.items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    print(f"wrote {out}")
+    return ok

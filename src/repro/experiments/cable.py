@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from repro.experiments.sweeps import PAPER_SIZES, PAPER_TRIO, make_topology
 from repro.layout import FloorplanConfig, average_cable_length, cable_report
 from repro.util import format_table
+from repro.util.parallel import parallel_map
 
 __all__ = ["CableSweepRow", "fig9_cable", "format_cable_sweep", "dsn6_vs_torus3d"]
 
@@ -25,21 +26,31 @@ class CableSweepRow:
         return [self.log2_n, self.n] + [round(self.values[k], 3) for k in sorted(self.values)]
 
 
+def _cable_row(args: tuple) -> CableSweepRow:
+    """One size of the sweep (module-level for process-pool pickling)."""
+    n, kinds, seed, config = args
+    values = {
+        kind: average_cable_length(make_topology(kind, n, seed=seed), config=config)
+        for kind in kinds
+    }
+    return CableSweepRow(n=n, log2_n=n.bit_length() - 1, values=values)
+
+
 def fig9_cable(
     sizes: tuple[int, ...] = PAPER_SIZES,
     kinds: tuple[str, ...] = PAPER_TRIO,
     seed: int = 0,
     config: FloorplanConfig | None = None,
+    workers: int | None = None,
 ) -> list[CableSweepRow]:
-    """Figure 9: average cable length (m) of each topology vs size."""
-    rows = []
-    for n in sizes:
-        values = {
-            kind: average_cable_length(make_topology(kind, n, seed=seed), config=config)
-            for kind in kinds
-        }
-        rows.append(CableSweepRow(n=n, log2_n=n.bit_length() - 1, values=values))
-    return rows
+    """Figure 9: average cable length (m) of each topology vs size.
+
+    Sizes are independent; set ``workers`` (or ``REPRO_WORKERS``) to
+    compute them in parallel processes.
+    """
+    return parallel_map(
+        _cable_row, [(n, kinds, seed, config) for n in sizes], workers=workers
+    )
 
 
 def format_cable_sweep(rows: list[CableSweepRow], title: str) -> str:

@@ -65,14 +65,18 @@ def hop_sweep(
     )
 
 
-def fig7_diameter(sizes: tuple[int, ...] = PAPER_SIZES, seed: int = 0) -> list[HopSweepRow]:
+def fig7_diameter(
+    sizes: tuple[int, ...] = PAPER_SIZES, seed: int = 0, workers: int | None = None
+) -> list[HopSweepRow]:
     """Figure 7: diameter vs network size."""
-    return hop_sweep("diameter", sizes=sizes, seed=seed)
+    return hop_sweep("diameter", sizes=sizes, seed=seed, workers=workers)
 
 
-def fig8_aspl(sizes: tuple[int, ...] = PAPER_SIZES, seed: int = 0) -> list[HopSweepRow]:
+def fig8_aspl(
+    sizes: tuple[int, ...] = PAPER_SIZES, seed: int = 0, workers: int | None = None
+) -> list[HopSweepRow]:
     """Figure 8: average shortest path length vs network size."""
-    return hop_sweep("aspl", sizes=sizes, seed=seed)
+    return hop_sweep("aspl", sizes=sizes, seed=seed, workers=workers)
 
 
 def format_hop_sweep(rows: list[HopSweepRow], title: str) -> str:

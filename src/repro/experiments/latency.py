@@ -17,8 +17,16 @@ from repro.routing import DuatoAdaptiveRouting
 from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig, SimResult, dsn_custom_adapter
 from repro.traffic import make_pattern
 from repro.util import format_table
+from repro.util.parallel import parallel_map
 
-__all__ = ["LatencyCurve", "run_curve", "fig10", "format_curves", "DEFAULT_LOADS"]
+__all__ = [
+    "LatencyCurve",
+    "run_curve",
+    "fig10",
+    "format_curves",
+    "saturation_search",
+    "DEFAULT_LOADS",
+]
 
 #: Offered loads (Gbit/s/host) swept by default; the paper's x-axis
 #: spans 0..12 Gbit/s/host.
@@ -49,6 +57,75 @@ class LatencyCurve:
         return max(ok) if ok else max(p.accepted_gbps for p in self.points)
 
 
+def _sim_topology(kind: str, n: int, seed: int, routing: str):
+    """The (memoized) topology a curve simulates on.
+
+    The custom-routing schemes need the DSN-V virtual-channel policy;
+    other kinds are swapped for DSN-V when they lack one.
+    """
+    topo = make_topology(kind, n, seed=seed)
+    if routing in ("custom", "minimal_custom") and not hasattr(topo, "policy"):
+        topo = make_topology("dsn_v", n)
+    return topo
+
+
+#: Per-process source-route memo for the custom scheme: n -> {(s, t): route}.
+_custom_routes: dict[int, dict] = {}
+
+
+def _make_adapter(topo, routing: str, cfg: SimConfig, rng):
+    if routing == "custom":
+        from repro.core import dsn_route_extended
+
+        route_cache = _custom_routes.setdefault(topo.n, {})
+
+        def route_fn(s: int, t: int):
+            key = (s, t)
+            if key not in route_cache:
+                route_cache[key] = dsn_route_extended(topo, s, t)
+            return route_cache[key]
+
+        return dsn_custom_adapter(route_fn)
+    if routing == "minimal_custom":
+        from repro.sim import MinimalCustomEscapeAdapter
+
+        return MinimalCustomEscapeAdapter(topo, cfg.num_vcs, rng)
+    if routing == "dor":
+        from repro.sim import DORAdapter
+
+        return DORAdapter(topo, cfg.num_vcs)
+    if routing == "updown":
+        return AdaptiveEscapeAdapter(
+            DuatoAdaptiveRouting(topo), cfg.num_vcs, rng, escape_only=True
+        )
+    if routing == "adaptive":
+        return AdaptiveEscapeAdapter(DuatoAdaptiveRouting(topo), cfg.num_vcs, rng)
+    raise ValueError(f"unknown routing scheme {routing!r}")
+
+
+def _curve_point(args: tuple) -> SimResult:
+    """One (kind, load) simulation -- module-level so a process pool can
+    pickle it. Each point draws from its own ``(seed, load)``-keyed RNG,
+    so serial and parallel execution produce identical results; the
+    topology and routing tables are shared through :mod:`repro.cache`
+    within each process."""
+    kind, pattern_name, load, n, cfg, seed, routing = args
+    topo = _sim_topology(kind, n, seed, routing)
+    rng = np.random.default_rng((seed, int(load * 1000)))
+    num_hosts = n * cfg.hosts_per_switch
+    # Synthetic permutations act on switch addresses (see
+    # repro.traffic.patterns._PermutationTraffic): each host sends to its
+    # same-offset counterpart at the permuted switch.
+    pattern_kwargs = (
+        {"group_size": cfg.hosts_per_switch}
+        if pattern_name in ("bit_reversal", "bit_complement", "transpose")
+        else {}
+    )
+    pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
+    sim = NetworkSimulator(topo, _make_adapter(topo, routing, cfg, rng), pattern, load, cfg)
+    return sim.run()
+
+
 def run_curve(
     kind: str,
     pattern_name: str,
@@ -58,6 +135,7 @@ def run_curve(
     seed: int = 0,
     custom_routing: bool = False,
     routing: str = "adaptive",
+    workers: int | None = None,
 ) -> LatencyCurve:
     """Simulate one topology kind under one pattern across loads.
 
@@ -74,64 +152,20 @@ def run_curve(
       routing as escape (the paper's Section VIII future work).
 
     ``custom_routing=True`` is a backward-compatible alias for
-    ``routing="custom"``.
+    ``routing="custom"``. Loads are independent simulations; set
+    ``workers`` (or ``REPRO_WORKERS``) to run them in parallel
+    processes with identical results.
     """
     cfg = config or SimConfig()
     if custom_routing:
         routing = "custom"
-    topo = make_topology(kind, n, seed=seed)
+    topo = _sim_topology(kind, n, seed, routing)
     curve = LatencyCurve(topology=topo.name, pattern=pattern_name)
-
-    if routing in ("custom", "minimal_custom"):
-        from repro.core import DSNVTopology
-
-        if not hasattr(topo, "policy"):
-            topo = DSNVTopology(n)
-
-    if routing == "custom":
-        from repro.core import dsn_route_extended
-        route_cache: dict[tuple[int, int], list] = {}
-
-        def route_fn(s: int, t: int):
-            key = (s, t)
-            if key not in route_cache:
-                route_cache[key] = dsn_route_extended(topo, s, t)
-            return route_cache[key]
-
-        make_adapter = lambda rng: dsn_custom_adapter(route_fn)
-    elif routing == "minimal_custom":
-        from repro.sim import MinimalCustomEscapeAdapter
-
-        make_adapter = lambda rng: MinimalCustomEscapeAdapter(topo, cfg.num_vcs, rng)
-    elif routing == "dor":
-        from repro.sim import DORAdapter
-
-        make_adapter = lambda rng: DORAdapter(topo, cfg.num_vcs)
-    elif routing == "updown":
-        duato = DuatoAdaptiveRouting(topo)
-        make_adapter = lambda rng: AdaptiveEscapeAdapter(
-            duato, cfg.num_vcs, rng, escape_only=True
-        )
-    elif routing == "adaptive":
-        duato = DuatoAdaptiveRouting(topo)
-        make_adapter = lambda rng: AdaptiveEscapeAdapter(duato, cfg.num_vcs, rng)
-    else:
-        raise ValueError(f"unknown routing scheme {routing!r}")
-
-    num_hosts = n * cfg.hosts_per_switch
-    # Synthetic permutations act on switch addresses (see
-    # repro.traffic.patterns._PermutationTraffic): each host sends to its
-    # same-offset counterpart at the permuted switch.
-    pattern_kwargs = (
-        {"group_size": cfg.hosts_per_switch}
-        if pattern_name in ("bit_reversal", "bit_complement", "transpose")
-        else {}
+    curve.points = parallel_map(
+        _curve_point,
+        [(kind, pattern_name, load, n, cfg, seed, routing) for load in loads],
+        workers=workers,
     )
-    for load in loads:
-        rng = np.random.default_rng((seed, int(load * 1000)))
-        pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
-        sim = NetworkSimulator(topo, make_adapter(rng), pattern, load, cfg)
-        curve.points.append(sim.run())
     return curve
 
 
@@ -142,9 +176,70 @@ def fig10(
     config: SimConfig | None = None,
     seed: int = 0,
     kinds: tuple[str, ...] = PAPER_TRIO,
+    workers: int | None = None,
 ) -> list[LatencyCurve]:
-    """One Fig. 10 subplot: curves for torus, RANDOM and DSN."""
-    return [run_curve(k, pattern_name, loads, n=n, config=config, seed=seed) for k in kinds]
+    """One Fig. 10 subplot: curves for torus, RANDOM and DSN.
+
+    All ``kinds x loads`` points fan out through one
+    :func:`parallel_map`, so a worker pool stays busy across the whole
+    subplot instead of draining per curve.
+    """
+    cfg = config or SimConfig()
+    jobs = [
+        (kind, pattern_name, load, n, cfg, seed, "adaptive")
+        for kind in kinds
+        for load in loads
+    ]
+    points = parallel_map(_curve_point, jobs, workers=workers)
+    curves = []
+    for i, kind in enumerate(kinds):
+        topo = _sim_topology(kind, n, seed, "adaptive")
+        curve = LatencyCurve(topology=topo.name, pattern=pattern_name)
+        curve.points = points[i * len(loads) : (i + 1) * len(loads)]
+        curves.append(curve)
+    return curves
+
+
+def _probe_at(kind, pattern_name, n, cfg, seed, routing, load) -> SimResult:
+    """One saturation probe (partial-able; load is the trailing arg)."""
+    return _curve_point((kind, pattern_name, load, n, cfg, seed, routing))
+
+
+def saturation_search(
+    kind: str,
+    pattern_name: str = "uniform",
+    n: int = 64,
+    config: SimConfig | None = None,
+    seed: int = 0,
+    routing: str = "adaptive",
+    workers: int | None = None,
+    start_gbps: float = 4.0,
+    max_gbps: float = 64.0,
+    resolution_gbps: float = 1.0,
+):
+    """Measure saturation throughput for one topology kind.
+
+    Wraps :func:`repro.sim.find_saturation` with a picklable probe, so
+    with ``workers`` (or ``REPRO_WORKERS``) the bracketing ladder runs
+    as one parallel batch; each probe seeds its RNG from ``(seed,
+    load)``, making serial and parallel searches identical.
+    """
+    import functools
+
+    from repro.sim import find_saturation
+    from repro.util.parallel import default_workers
+
+    cfg = config or SimConfig()
+    run_at = functools.partial(_probe_at, kind, pattern_name, n, cfg, seed, routing)
+    w = workers if workers is not None else default_workers()
+    map_fn = (lambda f, xs: parallel_map(f, xs, workers=w)) if w > 1 else None
+    return find_saturation(
+        run_at,
+        start_gbps=start_gbps,
+        max_gbps=max_gbps,
+        resolution_gbps=resolution_gbps,
+        map_fn=map_fn,
+    )
 
 
 def format_curves(curves: list[LatencyCurve], title: str) -> str:

@@ -42,8 +42,23 @@ def make_topology(kind: str, n: int, seed: int = 0, **kwargs) -> Topology:
     ``torus3d``, ``mesh``, ``random`` (DLN-2-2), ``dln``,
     ``random_regular``, ``kleinberg``, ``ring``, ``hypercube``,
     ``debruijn``, ``ccc``.
+
+    Construction is deterministic in ``(kind, n, seed, kwargs)``, so
+    the result is memoized in-process (see :mod:`repro.cache`);
+    repeated sweeps over the same sizes share one immutable object.
     """
+    from repro import cache
+
     kind = kind.lower()
+    try:
+        recipe = (kind, n, seed, tuple(sorted(kwargs.items())))
+        hash(recipe)
+    except TypeError:  # unhashable kwarg: skip memoization
+        return _build_topology(kind, n, seed, **kwargs)
+    return cache.memo_topology(recipe, lambda: _build_topology(kind, n, seed, **kwargs))
+
+
+def _build_topology(kind: str, n: int, seed: int, **kwargs) -> Topology:
     if kind == "dsn":
         return DSNTopology(n, **kwargs)
     if kind == "dsn_e":

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis import average_shortest_path_length, diameter, shortest_path_matrix
+from repro import cache
+from repro.analysis import average_shortest_path_length, diameter
 from repro.core import DSNTopology, dsn_route, dsn_theory
 from repro.core.routing import Phase
 from repro.core.theory import dln22_average_shortcut_length
@@ -144,7 +145,7 @@ def check_routing(
     """
     topo = DSNTopology(n, x=x)
     th = dsn_theory(n, topo.x)
-    dist = shortest_path_matrix(topo)
+    dist = cache.distance_matrix(topo)
 
     if sample_pairs is None:
         pairs = [(s, t) for s in range(n) for t in range(n) if s != t]

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.routing.table import ShortestPathTable
-from repro.routing.updown import UpDownRouting
+from repro import cache
+from repro.routing.table import ShortestPathTable  # noqa: F401 (re-exported for callers)
 from repro.topologies.base import Topology
 
 __all__ = ["RouteCandidate", "DuatoAdaptiveRouting"]
@@ -40,8 +40,8 @@ class DuatoAdaptiveRouting:
 
     def __init__(self, topo: Topology, root: int | None = None):
         self.topo = topo
-        self.table = ShortestPathTable(topo)
-        self.updown = UpDownRouting(topo, root=root)
+        self.table = cache.shortest_path_table(topo)
+        self.updown = cache.updown_routing(topo, root=root)
 
     def candidates(self, u: int, t: int, down_only: bool) -> list[RouteCandidate]:
         """All legal options at switch ``u`` for a packet headed to ``t``.

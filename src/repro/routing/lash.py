@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.routing.table import ShortestPathTable
+from repro import cache
 from repro.topologies.base import Topology
 
 __all__ = ["LashLayering", "lash_layering", "lash_adapter"]
@@ -72,7 +72,7 @@ def lash_layering(
     needed (i.e. the topology cannot be LASH-routed minimally within
     the available VCs).
     """
-    table = ShortestPathTable(topo)
+    table = cache.shortest_path_table(topo)
     if pairs is None:
         pairs = [(s, t) for s in range(topo.n) for t in range(topo.n) if s != t]
     # Longest paths first: they carry the most dependencies and are the

@@ -116,6 +116,28 @@ class UpDownRouting:
         self._next_phase = next_phase
         return (next_node, next_phase), dist
 
+    @classmethod
+    def _restore(
+        cls,
+        topo: Topology,
+        root: int,
+        depth: np.ndarray,
+        next_node: np.ndarray,
+        next_phase: np.ndarray,
+        dist: np.ndarray,
+    ) -> "UpDownRouting":
+        """Rehydrate from precomputed tables (the artifact cache's disk
+        tier) without rerunning the per-destination BFS."""
+        obj = cls.__new__(cls)
+        obj.topo = topo
+        obj.root = int(root)
+        obj._depth = depth
+        obj._next_node = next_node
+        obj._next_phase = next_phase
+        obj._next = (next_node, next_phase)
+        obj._dist = dist
+        return obj
+
     # ------------------------------------------------------------------
     def distance(self, s: int, t: int) -> int:
         """Length of the shortest *legal* path (>= graph distance)."""

@@ -98,10 +98,10 @@ class AdaptiveEscapeAdapter(RoutingAdapter):
                 )
             return out
         if mode == "adaptive":
-            minimal = self.routing.table.next_hops(switch, dst_switch)
+            minimal = self.routing.table.next_hops_array(switch, dst_switch)
             order = self.rng.permutation(len(minimal)) if len(minimal) > 1 else range(len(minimal))
             for i in order:
-                out.append(SimOption(minimal[int(i)], self._adaptive_vcs, ("adaptive", False)))
+                out.append(SimOption(int(minimal[int(i)]), self._adaptive_vcs, ("adaptive", False)))
             # Escape fallback: fresh up*/down* from this switch.
             for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=False):
                 out.append(SimOption(v, (_ESCAPE_VC,), ("escape", nxt_down)))
@@ -197,8 +197,8 @@ class MinimalCustomEscapeAdapter(RoutingAdapter):
     """
 
     def __init__(self, topo, num_vcs: int, rng: np.random.Generator):
+        from repro import cache
         from repro.core.extensions import DSNETopology, DSNVTopology
-        from repro.routing.table import ShortestPathTable
 
         if not isinstance(topo, (DSNETopology, DSNVTopology)):
             raise TypeError(
@@ -210,7 +210,7 @@ class MinimalCustomEscapeAdapter(RoutingAdapter):
         self.topo = topo
         self.num_vcs = num_vcs
         self.rng = rng
-        self.table = ShortestPathTable(topo)
+        self.table = cache.shortest_path_table(topo)
         self._adaptive_vcs = tuple(range(3, num_vcs))
         self._route_cache: dict[tuple[int, int], tuple] = {}
 
@@ -232,10 +232,10 @@ class MinimalCustomEscapeAdapter(RoutingAdapter):
         mode, esc = rstate
         out: list[SimOption] = []
         if mode == "adaptive":
-            minimal = self.table.next_hops(switch, dst_switch)
+            minimal = self.table.next_hops_array(switch, dst_switch)
             order = self.rng.permutation(len(minimal)) if len(minimal) > 1 else range(len(minimal))
             for i in order:
-                out.append(SimOption(minimal[int(i)], self._adaptive_vcs, ("adaptive", None)))
+                out.append(SimOption(int(minimal[int(i)]), self._adaptive_vcs, ("adaptive", None)))
             hops = self._escape_hops(switch, dst_switch)
             if hops:
                 nxt, vc = hops[0]

@@ -15,15 +15,28 @@ network cycle by cycle and moves *individual flits*, modeling:
   header and link pipelines of ``ceil(link_delay / flit_time)`` cycles.
 
 One cycle is one flit time (256 bits / 96 Gbps = 2.67 ns by default).
-The engine is much slower than the event-driven one, so experiments use
-it for cross-validation at small scale (tests pin the two engines to
+
+The per-cycle bookkeeping is batched: input units are dense integer
+ids (injection units first, then switch units in canonical channel
+order, so id order equals the canonical key order), credits live in
+one numpy array indexed by unit id, credit returns are bucketed by due
+cycle, and traffic generation scans all hosts with a single vectorized
+comparison. Only units flagged busy (or hosts with queued packets) are
+touched per cycle, always in ascending id order -- which makes runs
+deterministic regardless of ``PYTHONHASHSEED``, unlike the former
+dict-of-tuples structures. Round-robin crossbar arbitration semantics
+are unchanged: one flit per output resource per cycle, pointer
+advanced past the granted requester.
+
+The engine is still the slower reference next to the event-driven one;
+experiments use it for cross-validation (tests pin the two engines to
 the same zero-load latency) and for the wormhole-vs-VCT ablation.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
+from collections import defaultdict, deque
 from typing import Any
 
 import numpy as np
@@ -68,22 +81,27 @@ class _FlitPacket:
 #: input-unit states
 _IDLE, _ROUTING, _WAIT_VC, _ACTIVE = range(4)
 
+#: sentinel out_unit meaning "no output allocated"
+_NO_OUT = None
+
 
 class _InputUnit:
     """One (input port, VC) buffer of a switch: holds one packet's flits.
 
     ``queue`` entries are ``(arrival_cycle, flit_idx)``; a flit is
     usable once ``arrival_cycle <= now`` (link pipelining).
+    ``out_unit`` is the downstream unit id, or ``-(host + 1)`` for
+    ejection to ``host``.
     """
 
-    __slots__ = ("queue", "state", "packet", "route_done_cycle", "out_key", "inject_left", "next_flit")
+    __slots__ = ("queue", "state", "packet", "route_done_cycle", "out_unit", "inject_left", "next_flit")
 
     def __init__(self):
         self.queue: deque[tuple[int, int]] = deque()
         self.state = _IDLE
         self.packet: _FlitPacket | None = None
         self.route_done_cycle = 0
-        self.out_key: tuple | None = None  # ('sw', u, v, vc) or ('ej', host)
+        self.out_unit: int | None = _NO_OUT
         self.inject_left = 0  # injection units: flits still to stream in
         self.next_flit = 0
 
@@ -123,24 +141,44 @@ class FlitLevelSimulator:
         self.link_cycles = max(1, math.ceil(self.cfg.link_delay_ns / self.cfg.flit_time_ns))
 
         v = self.cfg.num_vcs
-        # Input units: ('sw', u, v, vc) is the unit at switch v fed by
-        # the channel from u; ('inj', host, vc) is a host-port unit at
-        # the host's switch.
-        self.units: dict[tuple, _InputUnit] = {}
+        # Dense unit ids: injection units (host-major, VC-minor) first,
+        # then switch units in sorted directed-channel order, VC-minor.
+        # The unit at switch b fed by the channel a -> b for VC k has id
+        # inj_units + chan_index(a, b) * v + k.
+        self._v = v
+        self._inj_units = self.num_hosts * v
+        channels = []
         for link in topo.links:
-            for a, b in ((link.u, link.v), (link.v, link.u)):
-                for vc in range(v):
-                    self.units[("sw", a, b, vc)] = _InputUnit()
+            channels.append((link.u, link.v))
+            channels.append((link.v, link.u))
+        channels.sort()
+        self._chan_base = {
+            ch: self._inj_units + i * v for i, ch in enumerate(channels)
+        }
+        num_units = self._inj_units + len(channels) * v
+        self.units: list[_InputUnit] = [_InputUnit() for _ in range(num_units)]
+        # Switch each unit routes at (injection units sit at the host's
+        # switch; a channel unit sits at the channel's head switch).
+        unit_switch = [0] * num_units
         for h in range(self.num_hosts):
             for vc in range(v):
-                self.units[("inj", h, vc)] = _InputUnit()
+                unit_switch[h * v + vc] = self.switch_of(h)
+        for (a, b), base in self._chan_base.items():
+            for vc in range(v):
+                unit_switch[base + vc] = b
+        self._unit_switch = unit_switch
 
-        # Free downstream buffer slots, tracked at the sender side.
-        self.credits: dict[tuple, int] = {k: self.buffer_flits for k in self.units}
-        self.credit_returns: deque[tuple[int, tuple]] = deque()
+        # Free downstream buffer slots, tracked at the sender side, and
+        # credit returns bucketed by the cycle they come due.
+        self.credits = np.full(num_units, self.buffer_flits, dtype=np.int64)
+        self._credit_due: defaultdict[int, list[int]] = defaultdict(list)
 
-        self._busy: set[tuple] = set()  # units that may need per-cycle work
-        self._rr: dict[tuple, int] = {}  # round-robin pointers per output
+        # Output resources for crossbar arbitration: one per ejection
+        # host (ids 0..H-1), one per directed channel (H..H+C-1).
+        self._rr = np.zeros(self.num_hosts + len(channels), dtype=np.int64)
+
+        self._busy: set[int] = set()  # units that may need per-cycle work
+        self._pending_hosts: set[int] = set()  # hosts with queued packets
 
         self.host_queue: list[deque[_FlitPacket]] = [deque() for _ in range(self.num_hosts)]
         self._next_arrival = np.zeros(self.num_hosts)
@@ -163,13 +201,20 @@ class FlitLevelSimulator:
     def _time_ns(self, cycle: int) -> float:
         return cycle * self.cfg.flit_time_ns
 
+    def _resource_of(self, out_unit: int) -> int:
+        """Arbitration resource of a downstream unit: its channel."""
+        return self.num_hosts + (out_unit - self._inj_units) // self._v
+
     # ------------------------------------------------------------------
     # per-cycle phases
     # ------------------------------------------------------------------
     def _generate_traffic(self, now: int) -> None:
         t_ns = self._time_ns(now)
+        due = np.flatnonzero(self._next_arrival <= t_ns)
+        if due.size == 0:
+            return
         rate = self.cfg.packets_per_ns(self.offered_gbps)
-        for h in range(self.num_hosts):
+        for h in due.tolist():
             while self._next_arrival[h] <= t_ns:
                 created = float(self._next_arrival[h])
                 dst = self.pattern.destination(h, self.rng)
@@ -182,29 +227,30 @@ class FlitLevelSimulator:
                 if measured:
                     self._result.generated_measured += 1
                 self.host_queue[h].append(pkt)
+                self._pending_hosts.add(h)
                 self._next_arrival[h] += float(self.rng.exponential(1.0 / rate))
 
     def _inject(self, now: int) -> None:
         """Stream source-queue packets into injection units, one flit
         per host per cycle (the injection link's bandwidth)."""
-        for h, queue in enumerate(self.host_queue):
-            if not queue:
-                continue
+        v = self._v
+        for h in sorted(self._pending_hosts):
+            queue = self.host_queue[h]
             pkt = queue[0]
-            key = None
+            uid = None
             # Continue streaming into the unit already carrying pkt, or
             # claim the first idle injection VC for a fresh head.
-            for vc in range(self.cfg.num_vcs):
-                k = ("inj", h, vc)
-                u = self.units[k]
+            for vc in range(v):
+                i = h * v + vc
+                u = self.units[i]
                 if u.packet is pkt:
-                    key = k
+                    uid = i
                     break
-                if key is None and u.packet is None and not u.queue:
-                    key = k
-            if key is None:
+                if uid is None and u.packet is None and not u.queue:
+                    uid = i
+            if uid is None:
                 continue
-            u = self.units[key]
+            u = self.units[uid]
             if u.packet is not pkt:
                 u.packet = pkt
                 u.state = _ROUTING
@@ -212,38 +258,43 @@ class FlitLevelSimulator:
                 u.inject_left = pkt.size
                 u.next_flit = 0
                 pkt.rstate = self.adapter.initial_state(self.switch_of(h), pkt.dst_switch)
-                self._busy.add(key)
+                self._busy.add(uid)
             if u.inject_left > 0 and len(u.queue) < self.buffer_flits:
                 u.queue.append((now, u.next_flit))
                 u.next_flit += 1
                 u.inject_left -= 1
                 if u.inject_left == 0:
                     queue.popleft()
+                    if not queue:
+                        self._pending_hosts.discard(h)
 
-    def _route_and_allocate(self, now: int) -> None:
+    def _route_and_allocate(self, busy_sorted: list[int], now: int) -> None:
         """Router pipeline + VC allocation for units holding a header."""
-        for key in list(self._busy):
-            u = self.units[key]
+        credits = self.credits
+        units = self.units
+        for uid in busy_sorted:
+            u = units[uid]
             if u.state == _ROUTING and now >= u.route_done_cycle:
                 u.state = _WAIT_VC
             if u.state != _WAIT_VC:
                 continue
             pkt = u.packet
-            at_switch = key[2] if key[0] == "sw" else self.switch_of(key[1])
+            at_switch = self._unit_switch[uid]
             if at_switch == pkt.dst_switch:
-                u.out_key = ("ej", pkt.dst_host)
+                u.out_unit = -(pkt.dst_host + 1)
                 u.state = _ACTIVE
                 continue
             # VCT requires room for the whole packet downstream before
             # the head advances; wormhole advances on any free slot.
             need = pkt.size if self.buffer_flits >= pkt.size else 1
             for opt in self.adapter.options(at_switch, pkt.dst_switch, pkt.rstate):
+                base = self._chan_base[(at_switch, opt.next_node)]
                 for vc in opt.vc_indices:
-                    tkey = ("sw", at_switch, opt.next_node, vc)
-                    tu = self.units[tkey]
-                    if tu.packet is None and not tu.queue and self.credits[tkey] >= need:
+                    tid = base + vc
+                    tu = units[tid]
+                    if tu.packet is None and not tu.queue and credits[tid] >= need:
                         tu.packet = pkt  # reserve the downstream VC
-                        u.out_key = tkey
+                        u.out_unit = tid
                         u.state = _ACTIVE
                         pkt.rstate = opt.new_rstate
                         pkt.hops += 1
@@ -252,44 +303,50 @@ class FlitLevelSimulator:
                     continue
                 break
 
-    def _switch_allocation(self, now: int) -> None:
-        """One flit per output resource per cycle, round-robin arbiter."""
-        requests: dict[tuple, list[tuple]] = {}
-        for key in self._busy:
-            u = self.units[key]
+    def _switch_allocation(self, busy_sorted: list[int], now: int) -> None:
+        """One flit per output resource per cycle, round-robin arbiter.
+
+        Requests are gathered in ascending unit-id order (the canonical
+        port order), so each resource's request list is already sorted
+        and the round-robin pointer walks it exactly as before.
+        """
+        requests: dict[int, list[int]] = {}
+        credits = self.credits
+        for uid in busy_sorted:
+            u = self.units[uid]
             if u.state != _ACTIVE or not u.queue:
                 continue
             if u.queue[0][0] > now:
                 continue
-            out = u.out_key
-            if out[0] == "ej":
-                res: tuple = ("ej", out[1])
+            out = u.out_unit
+            if out < 0:
+                res = -out - 1  # ejection to host
             else:
-                if self.credits[out] <= 0:
+                if credits[out] <= 0:
                     continue
-                res = ("port", out[1], out[2])  # physical channel u->v
-            requests.setdefault(res, []).append(key)
+                res = self._resource_of(out)  # physical channel
+            requests.setdefault(res, []).append(uid)
 
+        rr = self._rr
         for res, reqs in requests.items():
-            reqs.sort()
-            ptr = self._rr.get(res, 0) % len(reqs)
-            self._rr[res] = ptr + 1
+            ptr = int(rr[res]) % len(reqs)
+            rr[res] = ptr + 1
             self._send_flit(reqs[ptr], now)
 
-    def _send_flit(self, key: tuple, now: int) -> None:
-        u = self.units[key]
+    def _send_flit(self, uid: int, now: int) -> None:
+        u = self.units[uid]
         _, flit_idx = u.queue.popleft()
         pkt = u.packet
-        out = u.out_key
+        out = u.out_unit
         is_tail = flit_idx == pkt.size - 1
 
         # Return the freed buffer slot's credit upstream (after the
         # reverse-link latency). Injection units backpressure the source
         # directly through their queue capacity instead.
-        if key[0] == "sw":
-            self.credit_returns.append((now + self.link_cycles, key))
+        if uid >= self._inj_units:
+            self._credit_due[now + self.link_cycles].append(uid)
 
-        if out[0] == "ej":
+        if out < 0:
             if is_tail:
                 self._deliver(pkt, now + self.link_cycles)
         else:
@@ -305,9 +362,9 @@ class FlitLevelSimulator:
             # Packet fully left this unit; free it for the next one.
             u.state = _IDLE
             u.packet = None
-            u.out_key = None
+            u.out_unit = _NO_OUT
             if not u.queue:
-                self._busy.discard(key)
+                self._busy.discard(uid)
 
     def _deliver(self, pkt: _FlitPacket, cycle: int) -> None:
         t_ns = self._time_ns(cycle)
@@ -320,9 +377,9 @@ class FlitLevelSimulator:
             self._result.hop_counts.append(pkt.hops)
 
     def _return_credits(self, now: int) -> None:
-        while self.credit_returns and self.credit_returns[0][0] <= now:
-            _, key = self.credit_returns.popleft()
-            self.credits[key] += 1
+        due = self._credit_due.pop(now, None)
+        if due:
+            np.add.at(self.credits, due, 1)
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -335,9 +392,12 @@ class FlitLevelSimulator:
         for cycle in range(horizon):
             self._return_credits(cycle)
             self._generate_traffic(cycle)
-            self._inject(cycle)
-            self._route_and_allocate(cycle)
-            self._switch_allocation(cycle)
+            if self._pending_hosts:
+                self._inject(cycle)
+            busy_sorted = sorted(self._busy)
+            if busy_sorted:
+                self._route_and_allocate(busy_sorted, cycle)
+                self._switch_allocation(busy_sorted, cycle)
             if (
                 cycle % 512 == 0
                 and self._time_ns(cycle) > self._measure_end

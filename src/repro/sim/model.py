@@ -27,7 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.metrics import average_shortest_path_length, shortest_path_matrix
+from repro import cache
+from repro.analysis.metrics import average_shortest_path_length
 from repro.sim.config import SimConfig
 from repro.topologies.base import Topology
 
@@ -109,10 +110,8 @@ def build_uniform_model(
     tie-break) minimal path per pair -- an oblivious router; its
     saturation estimate is correspondingly pessimistic.
     """
-    from repro.routing.table import ShortestPathTable
-
     cfg = cfg or SimConfig()
-    table = ShortestPathTable(topo)
+    table = cache.shortest_path_table(topo)
     dist = table.dist
     n = topo.n
 
@@ -124,7 +123,7 @@ def build_uniform_model(
     values = np.zeros(len(channels))
 
     if balanced:
-        counts = table.path_count_matrix()
+        counts = cache.path_count_matrix(topo)
         for u, v in channels:
             # pairs (s, t) whose shortest paths can use u -> v
             on_path = (dist[:, u][:, None] + 1 + dist[v, :][None, :]) == dist
@@ -145,6 +144,7 @@ def build_uniform_model(
     return LatencyModel(
         topo=topo,
         cfg=cfg,
-        avg_hops=average_shortest_path_length(topo, shortest_path_matrix(topo)),
+        # Reuse the table's matrix instead of a second all-pairs BFS.
+        avg_hops=average_shortest_path_length(topo, table.dist),
         channel_shares=shares,
     )

@@ -44,25 +44,45 @@ def find_saturation(
     start_gbps: float = 4.0,
     max_gbps: float = 64.0,
     resolution_gbps: float = 1.0,
+    map_fn: Callable[[Callable[[float], SimResult], list[float]], list[SimResult]] | None = None,
 ) -> SaturationSearch:
     """Bisect for the saturation throughput.
 
     ``run_at(load)`` runs one simulation and returns its
     :class:`SimResult`; the ``saturated`` flag drives the search.
+
+    ``map_fn(run_at, loads)`` evaluates a batch of probes; pass e.g.
+    ``lambda f, xs: parallel_map(f, xs, workers)`` (with a picklable
+    ``run_at``) to probe the whole bracketing ladder concurrently. The
+    bracket is then chosen as the first saturated load in ladder order,
+    so the result -- including the reported probe count -- is identical
+    to the serial search; the extra speculative probes above the
+    bracket are free wall-clock-wise but not counted. The bisection
+    phase is inherently sequential and always runs serially.
     """
     probes = 0
     lo, lo_result = 0.0, None
     hi = None
-    load = start_gbps
     # Bracket: geometric growth until a saturated probe (or the cap).
-    while hi is None and load <= max_gbps:
-        r = run_at(load)
+    ladder: list[float] = []
+    load = start_gbps
+    while load <= max_gbps:
+        ladder.append(load)
+        load *= 2.0
+    if map_fn is None:
+        results: list[SimResult] = []
+        for x in ladder:
+            results.append(run_at(x))
+            if results[-1].saturated:
+                break
+    else:
+        results = map_fn(run_at, ladder)
+    for step, r in zip(ladder, results):
         probes += 1
         if r.saturated:
-            hi, hi_result = load, r
-        else:
-            lo, lo_result = load, r
-            load *= 2.0
+            hi, hi_result = step, r
+            break
+        lo, lo_result = step, r
     if hi is None:
         # Never saturated below the cap: report the cap as the floor.
         return SaturationSearch(

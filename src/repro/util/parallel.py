@@ -14,6 +14,7 @@ written that way.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -25,9 +26,16 @@ __all__ = ["parallel_map", "default_workers"]
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` (0/unset = serial)."""
+    """Worker count from ``REPRO_WORKERS`` (0/unset = serial).
+
+    ``REPRO_WORKERS=auto`` means one worker per CPU core; negative or
+    unparsable values fall back to serial.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "0").strip().lower()
+    if raw == "auto":
+        return os.cpu_count() or 1
     try:
-        return max(0, int(os.environ.get("REPRO_WORKERS", "0")))
+        return max(0, int(raw))
     except ValueError:
         return 0
 
@@ -41,11 +49,18 @@ def parallel_map(
 
     Results keep input order. ``workers=None`` consults
     ``REPRO_WORKERS``; ``workers in (0, 1)`` runs serially in-process.
+
+    Work is handed out in chunks of roughly ``len(items) / (4 *
+    workers)`` so per-item IPC overhead amortizes while the tail still
+    load-balances (uneven item costs are the norm: sweep sizes grow
+    geometrically).
     """
     items_list: Sequence[T] = list(items)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(items_list) <= 1:
         return [fn(x) for x in items_list]
-    with ProcessPoolExecutor(max_workers=min(workers, len(items_list))) as pool:
-        return list(pool.map(fn, items_list))
+    workers = min(workers, len(items_list))
+    chunksize = max(1, math.ceil(len(items_list) / (workers * 4)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items_list, chunksize=chunksize))

@@ -1,0 +1,87 @@
+"""Wall-clock profiling harness for the benchmark sweeps.
+
+The perf work in this repo (artifact cache, next-hop tables, the
+vectorized flit tick) is only worth keeping if it shows up on a clock,
+so the benchmark driver wraps each stage in a :class:`StageTimer` and
+persists the numbers as a ``BENCH_*.json`` evidence file that later
+sessions can diff against.
+
+Usage::
+
+    timer = StageTimer()
+    with timer.stage("metric_sweep_cold"):
+        run_sweep()
+    timer.write("BENCH_pr.json", extra={"speedup": 3.4})
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates named wall-clock stage timings.
+
+    Re-entering a stage name accumulates (useful for per-item loops);
+    ``counts`` tracks how many intervals each total spans.
+    """
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._order: list[str] = []
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one ``with`` block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    def record(self, name: str, seconds: float) -> None:
+        if name not in self.seconds:
+            self.seconds[name] = 0.0
+            self.counts[name] = 0
+            self._order.append(name)
+        self.seconds[name] += seconds
+        self.counts[name] += 1
+
+    def __getitem__(self, name: str) -> float:
+        return self.seconds[name]
+
+    def as_dict(self) -> dict:
+        """Stage table in first-recorded order."""
+        return {
+            name: {"seconds": round(self.seconds[name], 6), "intervals": self.counts[name]}
+            for name in self._order
+        }
+
+    def summary(self) -> str:
+        width = max((len(n) for n in self._order), default=0)
+        lines = [f"{n:<{width}}  {self.seconds[n]:9.3f} s" for n in self._order]
+        return "\n".join(lines)
+
+    def write(self, path: str, extra: dict | None = None) -> dict:
+        """Write the timings (plus environment provenance) as JSON."""
+        doc = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "stages": self.as_dict(),
+        }
+        if extra:
+            doc.update(extra)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return doc

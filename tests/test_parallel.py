@@ -30,6 +30,23 @@ class TestParallelMap:
         monkeypatch.delenv("REPRO_WORKERS")
         assert default_workers() == 0
 
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert default_workers() == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "AUTO")
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_env_negative_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert default_workers() == 0
+
+    def test_chunked_pool_covers_all_items(self):
+        # More items than workers*4 exercises the chunksize > 1 path.
+        n = 40
+        assert parallel_map(_square, list(range(n)), workers=2) == [
+            x * x for x in range(n)
+        ]
+
 
 class TestSweepParallelEquivalence:
     def test_hop_sweep_same_results(self):

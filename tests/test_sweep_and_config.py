@@ -42,6 +42,36 @@ class TestFindSaturation:
         s = find_saturation(run_at, start_gbps=2.0, resolution_gbps=1.0)
         assert s.saturation_gbps <= 6.5
 
+    def test_batched_ladder_matches_serial(self):
+        # A map_fn probing the whole ladder at once must give the same
+        # search result (bracket AND probe count) as the serial walk.
+        def run_at(load):
+            return make_result(load, accepted_ratio=1.0 if load <= 10 else 0.5)
+
+        batched_loads = []
+
+        def map_fn(fn, loads):
+            batched_loads.extend(loads)
+            return [fn(x) for x in loads]
+
+        serial = find_saturation(run_at, start_gbps=2.0, resolution_gbps=0.5)
+        batched = find_saturation(
+            run_at, start_gbps=2.0, resolution_gbps=0.5, map_fn=map_fn
+        )
+        assert batched == serial
+        assert batched_loads == [2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
+    def test_batched_ladder_never_saturates(self):
+        def run_at(load):
+            return make_result(load, accepted_ratio=1.0)
+
+        s = find_saturation(
+            run_at, start_gbps=4.0, max_gbps=32.0,
+            map_fn=lambda fn, xs: [fn(x) for x in xs],
+        )
+        assert s.saturation_gbps == 32.0
+        assert s.first_saturated_gbps == float("inf")
+
 
 class TestSimConfig:
     def test_flit_time(self):
