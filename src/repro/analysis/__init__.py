@@ -1,6 +1,7 @@
 """Graph analysis: hop metrics (Figs. 7-8), small-world indices, load balance."""
 
 from repro.analysis.balance import LoadStats, channel_loads, gini, load_stats
+from repro.analysis.blocked import HopStats, hop_stats_from_dense, streaming_hop_stats
 from repro.analysis.bisection import BisectionEstimate, bisection_estimate, cut_links
 from repro.analysis.faults import FaultTrialStats, degrade, fault_sweep
 from repro.analysis.paths import PathDiversity, path_diversity
@@ -21,6 +22,9 @@ from repro.analysis.smallworld import (
 
 __all__ = [
     "GraphMetrics",
+    "HopStats",
+    "hop_stats_from_dense",
+    "streaming_hop_stats",
     "analyze",
     "average_shortest_path_length",
     "diameter",

@@ -1,10 +1,17 @@
 """Graph metrics: diameter, average shortest path length, hop histograms.
 
 These are the quantities of the paper's Figs. 7-8 ("Hops" vs network
-size). Shortest paths are computed with :mod:`scipy.sparse.csgraph`'s
-C-level BFS over the sparse adjacency matrix -- the guides' "vectorize,
-don't loop in Python" rule; an all-pairs sweep over a 2048-switch
-topology takes well under a second this way.
+size). When a caller passes an explicit dense distance matrix the
+reductions here run directly over it -- as running sums/maxes and
+row-blocked bincounts, never allocating a second n x n temporary.
+Without one, every function routes through :func:`repro.cache.hop_stats`,
+the single dispatch that picks the dense csgraph BFS or the blocked
+streaming engine (:mod:`repro.analysis.blocked`) based on the
+``REPRO_CACHE_MEM_MB`` byte budget -- so the same call scales from the
+paper's n = 2048 sweeps to n >= 10^5 without an 8 GB matrix.
+
+ASPL is computed as the exact integer hop total divided by the ordered
+pair count, so the dense and streaming engines agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.sparse.csgraph import shortest_path
 
+from repro.analysis.blocked import dense_histogram, dense_max_finite
 from repro.topologies.base import Topology
 
 __all__ = [
@@ -32,43 +40,51 @@ def shortest_path_matrix(topo: Topology) -> np.ndarray:
     return shortest_path(topo.adjacency_csr, method="D", unweighted=True, directed=False)
 
 
-def _finite_offdiag(dist: np.ndarray) -> np.ndarray:
-    n = dist.shape[0]
-    mask = ~np.eye(n, dtype=bool)
-    vals = dist[mask]
-    if not np.isfinite(vals).all():
-        raise ValueError("topology is disconnected; hop metrics are undefined")
-    return vals
+def _hop_stats(topo: Topology):
+    from repro import cache  # deferred: cache sits above this module
+
+    return cache.hop_stats(topo)
+
+
+def _check(dist: np.ndarray) -> int:
+    """Connectivity/size check on a dense matrix; returns the diameter."""
+    if dist.shape[0] < 2:
+        raise ValueError("hop metrics need n >= 2 (no ordered pairs otherwise)")
+    return dense_max_finite(dist)
 
 
 def diameter(topo: Topology, dist: np.ndarray | None = None) -> int:
     """Maximum shortest-path hop count over all node pairs."""
     if dist is None:
-        dist = shortest_path_matrix(topo)
-    return int(_finite_offdiag(dist).max())
+        return _hop_stats(topo).diameter
+    return _check(dist)
 
 
 def average_shortest_path_length(topo: Topology, dist: np.ndarray | None = None) -> float:
-    """Mean shortest-path hop count over all ordered node pairs (s != t)."""
+    """Mean shortest-path hop count over all ordered pairs (s != t).
+
+    Exact: the integer hop total over the ordered-pair count, with the
+    all-zero diagonal contributing nothing to the sum."""
     if dist is None:
-        dist = shortest_path_matrix(topo)
-    return float(_finite_offdiag(dist).mean())
+        return _hop_stats(topo).aspl
+    _check(dist)
+    n = dist.shape[0]
+    return int(dist.sum(dtype=np.int64)) / (n * (n - 1))
 
 
 def eccentricities(topo: Topology, dist: np.ndarray | None = None) -> np.ndarray:
     """Per-node eccentricity (max hop distance to any other node)."""
     if dist is None:
-        dist = shortest_path_matrix(topo)
-    _finite_offdiag(dist)  # connectivity check
+        return _hop_stats(topo).ecc
+    _check(dist)
     return dist.max(axis=1).astype(np.int64)
 
 
 def hop_histogram(topo: Topology, dist: np.ndarray | None = None) -> np.ndarray:
     """``hist[h]`` = number of ordered pairs at hop distance ``h``."""
     if dist is None:
-        dist = shortest_path_matrix(topo)
-    vals = _finite_offdiag(dist).astype(np.int64)
-    return np.bincount(vals)
+        return _hop_stats(topo).hist
+    return dense_histogram(dist, _check(dist))
 
 
 @dataclass(frozen=True)
@@ -100,18 +116,17 @@ class GraphMetrics:
 def analyze(topo: Topology) -> GraphMetrics:
     """Compute the full metric summary for one topology.
 
-    The distance matrix goes through :mod:`repro.cache`, so repeated
+    Hop statistics go through :func:`repro.cache.hop_stats`, so repeated
     analysis of the same topology (e.g. the Fig. 7 and Fig. 8 sweeps
-    back to back) pays for one BFS."""
-    from repro import cache  # deferred: cache sits above this module
-
-    dist = cache.distance_matrix(topo)
+    back to back) pays for one BFS pass -- dense or streaming, per the
+    memory budget."""
+    stats = _hop_stats(topo)
     return GraphMetrics(
         name=topo.name,
         n=topo.n,
         num_links=topo.num_links,
-        diameter=diameter(topo, dist),
-        aspl=average_shortest_path_length(topo, dist),
+        diameter=stats.diameter,
+        aspl=stats.aspl,
         average_degree=topo.average_degree,
         min_degree=topo.min_degree,
         max_degree=topo.max_degree,

@@ -19,7 +19,7 @@ import networkx as nx
 import numpy as np
 
 from repro.topologies.base import Topology
-from repro.util import make_rng
+from repro.util import make_rng, sample_distinct_pairs
 
 __all__ = ["PathDiversity", "path_diversity"]
 
@@ -54,22 +54,22 @@ def path_diversity(
     The minimal-path count uses the exact DP over the distance matrix;
     edge-disjoint counts run one unit-capacity max-flow per pair.
     ``sample_pairs=None`` means all ordered pairs (slow beyond ~64
-    nodes because of the per-pair max-flow).
+    nodes because of the per-pair max-flow). Sampling is without
+    replacement (duplicate pairs would skew the means), capped at the
+    ordered-pair count.
     """
     # Imported here: routing.table depends on analysis.metrics, so a
     # top-level import would make the analysis package circular.
     from repro import cache
 
-    rng = make_rng(seed)
     n = topo.n
-    if sample_pairs is None:
+    if n < 2:
+        raise ValueError("path diversity needs n >= 2 (no ordered pairs otherwise)")
+    if sample_pairs is None or sample_pairs >= n * (n - 1):
         pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
     else:
-        pairs = []
-        while len(pairs) < sample_pairs:
-            s, t = (int(v) for v in rng.integers(0, n, size=2))
-            if s != t:
-                pairs.append((s, t))
+        srcs, dsts = sample_distinct_pairs(n, sample_pairs, make_rng(seed))
+        pairs = list(zip(srcs.tolist(), dsts.tolist()))
 
     counts = cache.path_count_matrix(topo)
 

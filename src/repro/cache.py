@@ -9,11 +9,22 @@ site. This module memoizes them behind a stable *topology fingerprint*
 tiers:
 
 * an in-process LRU (always on; capacity ``REPRO_CACHE_MEM`` entries,
-  default 128), shared by all call sites in ``routing/``, ``sim/``,
-  ``experiments/`` and ``analysis/``;
+  default 128, bounded to a byte budget of ``REPRO_CACHE_MEM_MB``
+  megabytes, default 1024), shared by all call sites in ``routing/``,
+  ``sim/``, ``experiments/`` and ``analysis/``;
 * an optional on-disk ``.npz`` tier enabled by setting
   ``REPRO_CACHE_DIR`` -- this is what lets ``parallel_map`` worker
   processes and repeated CLI invocations share one precomputation.
+
+Distance matrices are held in memory in int16 (like the disk tier) and
+converted to float64 only at the consumer edge, quartering their
+resident size. Artifacts whose size alone exceeds the byte budget are
+never admitted to the memory tier, and :func:`hop_stats` -- the single
+dispatch behind ``analysis.metrics.analyze`` and the Fig. 7/8 drivers
+-- switches from the dense matrix to the blocked streaming BFS engine
+(:mod:`repro.analysis.blocked`) when the dense computation would not
+fit the budget, so large-n sweeps degrade to O(n) memory instead of
+failing.
 
 Set ``REPRO_CACHE=off`` to bypass both tiers (the seed behaviour).
 Artifacts are derived deterministically from the topology, so a cache
@@ -39,6 +50,9 @@ __all__ = [
     "CacheStats",
     "topology_fingerprint",
     "distance_matrix",
+    "hop_stats",
+    "dense_distance_allowed",
+    "memory_budget_bytes",
     "shortest_path_table",
     "path_count_matrix",
     "updown_routing",
@@ -68,7 +82,8 @@ class CacheStats:
 
 _stats = CacheStats()
 _lock = threading.RLock()
-_memory: OrderedDict[tuple, object] = OrderedDict()
+_memory: OrderedDict[tuple, tuple[object, int]] = OrderedDict()  # key -> (value, bytes)
+_memory_bytes = 0
 
 _FP_ATTR = "_repro_fingerprint"
 
@@ -94,6 +109,31 @@ def _memory_capacity() -> int:
         return 128
 
 
+def memory_budget_bytes() -> int:
+    """Byte budget of the in-process tier (``REPRO_CACHE_MEM_MB``, MB).
+
+    Also gates the dense-vs-streaming dispatch of :func:`hop_stats`.
+    Values <= 0 (or unparsable) fall back to the 1024 MB default.
+    """
+    try:
+        mb = int(os.environ.get("REPRO_CACHE_MEM_MB", "1024"))
+    except ValueError:
+        mb = 1024
+    if mb <= 0:
+        mb = 1024
+    return mb * (1 << 20)
+
+
+def dense_distance_allowed(n: int) -> bool:
+    """Whether an n x n dense distance computation fits the byte budget.
+
+    Gated on the float64 matrix :func:`scipy.sparse.csgraph.shortest_path`
+    materializes while computing (8 bytes/pair) -- the true peak -- not
+    on the int16 form the cache retains afterwards.
+    """
+    return n * n * 8 <= memory_budget_bytes()
+
+
 def cache_stats() -> CacheStats:
     """Snapshot of the counters (monotonic since process start/reset)."""
     with _lock:
@@ -107,8 +147,10 @@ def reset_cache_stats() -> None:
 
 def clear_cache(disk: bool = False) -> None:
     """Drop the in-process tier (and optionally the disk tier)."""
+    global _memory_bytes
     with _lock:
         _memory.clear()
+        _memory_bytes = 0
     if disk:
         d = _cache_dir()
         if d and os.path.isdir(d):
@@ -147,22 +189,57 @@ def topology_fingerprint(topo: Topology) -> str:
 # ----------------------------------------------------------------------
 # tier plumbing
 # ----------------------------------------------------------------------
+def _approx_nbytes(value, depth: int = 0) -> int:
+    """Estimate an entry's resident size (arrays it holds, one level deep)."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if depth >= 2:
+        return 256
+    if isinstance(value, dict):
+        return 256 + sum(_approx_nbytes(v, depth + 1) for v in value.values())
+    if isinstance(value, (tuple, list)):
+        return 256 + sum(_approx_nbytes(v, depth + 1) for v in value)
+    inner = getattr(value, "__dict__", None)
+    if inner:
+        return 256 + sum(_approx_nbytes(v, depth + 1) for v in inner.values())
+    return 256
+
+
 def _memory_get(key: tuple):
     with _lock:
-        if key in _memory:
+        entry = _memory.get(key)
+        if entry is not None:
             _memory.move_to_end(key)
             _stats.memory_hits += 1
-            return _memory[key]
+            return entry[0]
     return None
 
 
-def _memory_put(key: tuple, value) -> None:
+def _peek(key: tuple):
+    """Read an entry without touching LRU order or hit counters."""
     with _lock:
-        _memory[key] = value
-        _memory.move_to_end(key)
+        entry = _memory.get(key)
+        return None if entry is None else entry[0]
+
+
+def _memory_put(key: tuple, value) -> None:
+    global _memory_bytes
+    nbytes = _approx_nbytes(value)
+    budget = memory_budget_bytes()
+    with _lock:
+        if nbytes > budget:
+            # Admitting it would evict everything and still exceed the
+            # budget; leave the tier as-is.
+            return
+        old = _memory.pop(key, None)
+        if old is not None:
+            _memory_bytes -= old[1]
+        _memory[key] = (value, nbytes)
+        _memory_bytes += nbytes
         cap = _memory_capacity()
-        while len(_memory) > cap:
-            _memory.popitem(last=False)
+        while _memory and (len(_memory) > cap or _memory_bytes > budget):
+            _, (_, evicted_bytes) = _memory.popitem(last=False)
+            _memory_bytes -= evicted_bytes
             _stats.evictions += 1
 
 
@@ -235,7 +312,8 @@ def _get(
 # distance matrix
 # ----------------------------------------------------------------------
 def _pack_dist(dist: np.ndarray) -> dict:
-    if np.isfinite(dist).all() and dist.max() < np.iinfo(np.int16).max:
+    m = dist.max() if dist.size else 0.0
+    if np.isfinite(m) and m < np.iinfo(np.int16).max:
         return {"dist_i16": dist.astype(np.int16)}
     return {"dist_f64": dist}
 
@@ -246,19 +324,87 @@ def _unpack_dist(raw: dict) -> np.ndarray:
     return raw["dist_f64"]
 
 
-def distance_matrix(topo: Topology) -> np.ndarray:
-    """All-pairs hop-count matrix (float64, ``inf`` for disconnected
-    pairs), identical to :func:`repro.analysis.metrics.shortest_path_matrix`."""
+def _dist_packed(topo: Topology) -> dict:
+    """The cached packed form: ``{"dist_i16": ...}`` for connected
+    small-diameter graphs (the normal case), ``{"dist_f64": ...}``
+    otherwise. Both tiers store this form, so the resident entry is
+    one quarter the float64 size."""
     from repro.analysis.metrics import shortest_path_matrix
 
     fp = topology_fingerprint(topo)
     return _get(
         (fp, "dist"),
         f"{fp}-dist",
-        lambda: shortest_path_matrix(topo),
-        pack=_pack_dist,
-        unpack=_unpack_dist,
+        lambda: _pack_dist(shortest_path_matrix(topo)),
+        pack=lambda packed: packed,
+        unpack=lambda raw: raw,
     )
+
+
+def distance_matrix(topo: Topology) -> np.ndarray:
+    """All-pairs hop-count matrix (float64, ``inf`` for disconnected
+    pairs), identical to :func:`repro.analysis.metrics.shortest_path_matrix`.
+
+    The cache holds the int16 packed form; the float64 conversion
+    happens here, at the consumer edge, on every call."""
+    return _unpack_dist(_dist_packed(topo))
+
+
+# ----------------------------------------------------------------------
+# hop statistics (the Fig. 7/8 dispatch: dense within budget, blocked
+# streaming BFS above it)
+# ----------------------------------------------------------------------
+def hop_stats(topo: Topology, workers: int | None = None):
+    """Exact :class:`repro.analysis.blocked.HopStats` for ``topo``.
+
+    The single entry point behind ``analysis.metrics.analyze`` and the
+    Fig. 7/8 experiment drivers. Dispatch order:
+
+    1. a distance matrix already resident in the memory tier is reduced
+       directly (no recompute, no float64 blow-up);
+    2. within :func:`dense_distance_allowed`, the dense matrix is
+       computed through :func:`distance_matrix` (populating both cache
+       tiers for other consumers) and reduced;
+    3. otherwise the blocked streaming BFS engine runs, never
+       allocating an n x n array.
+
+    All three paths produce bit-identical statistics; the result itself
+    (O(n) bytes) is memoized in both tiers.
+    """
+    from repro.analysis import blocked
+
+    fp = topology_fingerprint(topo)
+
+    def compute():
+        packed = _peek((fp, "dist"))
+        if packed is not None:
+            raw = packed.get("dist_i16", packed.get("dist_f64"))
+            return blocked.hop_stats_from_dense(raw)
+        if dense_distance_allowed(topo.n):
+            return blocked.hop_stats_from_dense(distance_matrix(topo))
+        return blocked.streaming_hop_stats(topo, workers=workers)
+
+    def pack(hs) -> dict:
+        return {
+            "total_hops": np.asarray(hs.total_hops, dtype=np.int64),
+            "ecc": hs.ecc.astype(np.int32),
+            "hist": hs.hist,
+        }
+
+    def unpack(raw: dict):
+        total = int(raw["total_hops"])
+        hist = raw["hist"].astype(np.int64)
+        n = len(raw["ecc"])
+        return blocked.HopStats(
+            n=n,
+            diameter=len(hist) - 1,
+            total_hops=total,
+            aspl=total / (n * (n - 1)),
+            ecc=raw["ecc"].astype(np.int64),
+            hist=hist,
+        )
+
+    return _get((fp, "hops"), f"{fp}-hops", compute, pack=pack, unpack=unpack)
 
 
 # ----------------------------------------------------------------------
@@ -275,8 +421,10 @@ def shortest_path_table(topo: Topology):
     if table is not None:
         return table
 
-    dist = distance_matrix(topo)
-    table = ShortestPathTable(topo, dist=dist)
+    # Feed the packed (usually int16) form straight in: the table casts
+    # to int32 anyway, so the float64 intermediate would be pure waste.
+    packed = _dist_packed(topo)
+    table = ShortestPathTable(topo, dist=packed.get("dist_i16", packed.get("dist_f64")))
     nh = _get(
         (fp, "nh"),
         f"{fp}-nexthop",

@@ -83,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for the parallel identity check")
     bench.add_argument("--tier1", action="store_true",
                        help="also run the tier-1 pytest suite and fail on regressions")
+    bench.add_argument("--large-n", type=int, default=None, dest="large_n",
+                       help="size of the out-of-process streaming-BFS gate "
+                            "(default 65536, or 8192 with --quick; 0 skips it)")
 
     th = sub.add_parser("theory", help="validate Section IV-C bounds")
     th.add_argument("--sizes", type=_sizes, default=(64, 100, 250, 1024))
@@ -278,7 +281,8 @@ def _cmd_claims(_args) -> None:
 def _cmd_bench(args) -> None:
     from repro.experiments.bench import run_bench
 
-    ok = run_bench(quick=args.quick, out=args.out, workers=args.workers, tier1=args.tier1)
+    ok = run_bench(quick=args.quick, out=args.out, workers=args.workers, tier1=args.tier1,
+                   large_n=args.large_n)
     if not ok:
         print("\nbenchmark smoke FAILED", file=sys.stderr)
         sys.exit(1)

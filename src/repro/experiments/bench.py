@@ -5,11 +5,16 @@ artifact cache's speedup is demonstrated on every run, (b) checks the
 outputs are *identical* across cold/warm and serial/parallel execution
 (caching and process pools must never change results), (c)
 cross-validates the event-driven and flit-level engines at zero load,
-and (d) optionally runs the tier-1 pytest suite. The timings land in a
-``BENCH_*.json`` evidence file (see :mod:`repro.util.profiling`).
+(d) gates the large-n metrics engine -- the blocked streaming BFS must
+be bit-identical to the dense matrix on every trio kind up to n=2048,
+and an out-of-process run at n=65536 (8192 in quick mode) must finish
+with peak RSS far below any n x n matrix -- and (e) optionally runs
+the tier-1 pytest suite. The timings land in a ``BENCH_*.json``
+evidence file (see :mod:`repro.util.profiling`).
 
-Exit is non-zero when an identity check, the cross-validation, or the
-tier-1 suite fails -- this is the CI regression gate for the fast path.
+Exit is non-zero when an identity check, the cross-validation, the
+large-n gate, or the tier-1 suite fails -- this is the CI regression
+gate for the fast path.
 """
 
 from __future__ import annotations
@@ -29,6 +34,46 @@ FULL_SIZES = (32, 64, 128, 256, 512, 1024)
 
 #: Engines must agree on zero-load latency within this relative error.
 CROSSVAL_RTOL = 0.05
+
+#: (kind, n) cases of the streaming-vs-dense identity gate. Odd sizes
+#: exercise partial uint64 words and ragged source blocks.
+IDENTITY_CASES_QUICK = (
+    ("dsn", 33), ("dsn", 64), ("torus", 64), ("random", 64), ("dsn", 256),
+)
+IDENTITY_CASES_FULL = IDENTITY_CASES_QUICK + (
+    ("torus", 1024), ("random", 1024), ("dsn", 2048),
+)
+
+#: Default size of the out-of-process large-n streaming gate.
+LARGE_N_QUICK = 8192
+LARGE_N_FULL = 65536
+
+#: Peak-RSS cap of the large-n run. At n=65536 even an int8 n x n
+#: matrix is 4.3 GB, so staying below 2 GB proves the engine never
+#: materializes an n x n array of any dtype.
+LARGE_N_RSS_MB = 2048
+
+_LARGE_N_SCRIPT = """\
+import json, resource, sys, time
+
+from repro.analysis.blocked import streaming_hop_stats
+from repro.experiments.sweeps import make_topology
+
+n = int(sys.argv[1])
+t0 = time.perf_counter()
+topo = make_topology("dsn", n, seed=0)
+t1 = time.perf_counter()
+stats = streaming_hop_stats(topo)
+t2 = time.perf_counter()
+print(json.dumps({
+    "n": n,
+    "diameter": stats.diameter,
+    "aspl": stats.aspl,
+    "build_s": round(t1 - t0, 3),
+    "bfs_s": round(t2 - t1, 3),
+    "maxrss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024,
+}))
+"""
 
 
 def _sweep_rows(sizes, workers=None):
@@ -66,11 +111,58 @@ def _crossval_zero_load():
     return run(NetworkSimulator), run(FlitLevelSimulator)
 
 
+def _streaming_identity(cases) -> bool:
+    """Blocked streaming BFS must reproduce the dense matrix exactly.
+
+    ``block_rows=97`` forces ragged blocks and partial bit words on
+    every case, the worst alignment for the uint64 kernel.
+    """
+    from repro.analysis.blocked import hop_stats_from_dense, streaming_hop_stats
+    from repro.analysis.metrics import shortest_path_matrix
+    from repro.experiments.sweeps import make_topology
+
+    for kind, n in cases:
+        topo = make_topology(kind, n, seed=0)
+        dense = hop_stats_from_dense(shortest_path_matrix(topo))
+        streamed = streaming_hop_stats(topo, block_rows=97)
+        if not dense.same_as(streamed):
+            return False
+    return True
+
+
+def _large_n_gate(n: int):
+    """Run the streaming engine at ``n`` in a fresh process and report
+    ``(stats_dict | None, memory_ok)``; the child's peak RSS is the
+    whole-process high-water mark, so a bounded value is proof no
+    n x n matrix was ever allocated."""
+    import json
+    import subprocess
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _LARGE_N_SCRIPT, str(n)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return None, False
+    stats = json.loads(proc.stdout.strip().splitlines()[-1])
+    return stats, stats["maxrss_mb"] <= LARGE_N_RSS_MB
+
+
 def run_bench(
     quick: bool = False,
     out: str = "BENCH_pr.json",
     workers: int | None = None,
     tier1: bool = False,
+    large_n: int | None = None,
 ) -> bool:
     """Run the benchmark smoke; returns True when every check passes."""
     from repro import cache
@@ -78,8 +170,12 @@ def run_bench(
 
     sizes = QUICK_SIZES if quick else FULL_SIZES
     workers = workers or 4
+    if large_n is None:
+        large_n = LARGE_N_QUICK if quick else LARGE_N_FULL
+    identity_cases = IDENTITY_CASES_QUICK if quick else IDENTITY_CASES_FULL
     timer = StageTimer()
     checks: dict[str, bool] = {}
+    large_n_stats = None
     saved = {k: os.environ.get(k) for k in ("REPRO_CACHE", "REPRO_CACHE_DIR")}
     tmpdir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
@@ -109,6 +205,15 @@ def run_bench(
             ev, fl = _crossval_zero_load()
         rel = abs(fl.avg_latency_ns - ev.avg_latency_ns) / ev.avg_latency_ns
         checks["crossval_zero_load_latency"] = rel <= CROSSVAL_RTOL
+
+        # --- large-n metrics engine gate ------------------------------
+        with timer.stage("streaming_identity"):
+            checks["streaming_identity"] = _streaming_identity(identity_cases)
+        if large_n:
+            with timer.stage(f"large_n_streaming_{large_n}"):
+                large_n_stats, mem_ok = _large_n_gate(large_n)
+            checks["large_n_completed"] = large_n_stats is not None
+            checks["large_n_memory_bounded"] = mem_ok
 
         if tier1:
             import subprocess
@@ -146,6 +251,9 @@ def run_bench(
             "workers": workers,
             "speedup_warm_vs_cold": round(speedup, 2),
             "crossval_rel_error": round(rel, 4),
+            "identity_cases": [list(c) for c in identity_cases],
+            "large_n": large_n_stats,
+            "large_n_rss_cap_mb": LARGE_N_RSS_MB if large_n else None,
             "checks": checks,
             "ok": ok,
         },
@@ -154,6 +262,12 @@ def run_bench(
     print(timer.summary())
     print(f"\nwarm-vs-cold sweep speedup: {speedup:.2f}x")
     print(f"engine cross-validation rel error: {rel:.2%} (tolerance {CROSSVAL_RTOL:.0%})")
+    if large_n_stats is not None:
+        print(
+            f"large-n gate: n={large_n_stats['n']} diameter={large_n_stats['diameter']} "
+            f"aspl={large_n_stats['aspl']:.3f} bfs={large_n_stats['bfs_s']:.1f}s "
+            f"peak RSS {large_n_stats['maxrss_mb']} MB (cap {LARGE_N_RSS_MB} MB)"
+        )
     for name, passed in checks.items():
         print(f"  {'PASS' if passed else 'FAIL'}  {name}")
     print(f"wrote {out}")

@@ -3,6 +3,12 @@
 ``fig7_diameter()`` / ``fig8_aspl()`` regenerate the two graph-analysis
 figures: diameter and average shortest path length of DSN, 2-D torus
 and RANDOM (DLN-2-2) for N = 32..2048 switches.
+
+Every row goes through :func:`repro.cache.hop_stats`, which swaps the
+dense distance matrix for the blocked streaming BFS engine above the
+``REPRO_CACHE_MEM_MB`` byte budget -- so the same drivers extend the
+sweeps to n >= 10^5 (``python -m repro fig8 --sizes 65536``) in O(n)
+memory.
 """
 
 from __future__ import annotations
@@ -96,12 +102,12 @@ def hop_distribution_table(
     in a tight logarithmic band while the torus's tail out to its large
     diameter carries real probability mass.
     """
-    from repro.analysis import hop_histogram
+    from repro import cache
 
     hists = {}
     max_h = 0
     for kind in kinds:
-        h = hop_histogram(make_topology(kind, n, seed=seed))
+        h = cache.hop_stats(make_topology(kind, n, seed=seed)).hist
         hists[kind] = h
         max_h = max(max_h, len(h) - 1)
 

@@ -9,16 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro import cache
-from repro.analysis import average_shortest_path_length, diameter
 from repro.core import DSNTopology, dsn_route, dsn_theory
 from repro.core.routing import Phase
 from repro.core.theory import dln22_average_shortcut_length
 from repro.layout import linear_cable_stats
 from repro.topologies import DLNRandomTopology
-from repro.util import make_rng
+from repro.util import make_rng, sample_distinct_pairs
 
 __all__ = [
     "DegreeCheck",
@@ -145,17 +142,16 @@ def check_routing(
     """
     topo = DSNTopology(n, x=x)
     th = dsn_theory(n, topo.x)
-    dist = cache.distance_matrix(topo)
+    # Diameter/ASPL come from the hop-stats dispatch (dense within the
+    # memory budget, blocked streaming BFS above it), so the check runs
+    # at sizes where the dense matrix would not fit.
+    stats = cache.hop_stats(topo)
 
     if sample_pairs is None:
         pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
     else:
-        rng = make_rng(seed)
-        pairs = []
-        while len(pairs) < sample_pairs:
-            s, t = (int(v) for v in rng.integers(0, n, size=2))
-            if s != t:
-                pairs.append((s, t))
+        srcs, dsts = sample_distinct_pairs(n, sample_pairs, make_rng(seed))
+        pairs = list(zip(srcs.tolist(), dsts.tolist()))
 
     worst = 0
     total = 0
@@ -169,17 +165,16 @@ def check_routing(
         )
         max_overshoot = max(max_overshoot, finish_preds)
 
-    mask = ~np.eye(n, dtype=bool)
     return RoutingCheck(
         n=n,
         x=topo.x,
         routing_diameter=worst,
         routing_diameter_bound=th.routing_diameter_bound,
-        graph_diameter=diameter(topo, dist),
+        graph_diameter=stats.diameter,
         graph_diameter_bound=th.diameter_bound,
         mean_routing_length=total / len(pairs),
         mean_routing_bound=th.expected_routing_length_bound,
-        mean_shortest_length=average_shortest_path_length(topo, dist),
+        mean_shortest_length=stats.aspl,
         mean_shortest_bound=th.expected_shortest_length_bound,
         max_overshoot=max_overshoot,
         overshoot_bound=th.overshoot_bound,

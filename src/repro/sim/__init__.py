@@ -26,6 +26,7 @@ from repro.sim.adapters import (
     SourceRoutedAdapter,
     dsn_custom_adapter,
 )
+from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
 from repro.sim.engine import EventQueue
 from repro.sim.flitsim import FlitLevelSimulator
@@ -44,6 +45,7 @@ __all__ = [
     "EventQueue",
     "Packet",
     "OutPort",
+    "PoissonGaps",
     "RoutingAdapter",
     "SimOption",
     "AdaptiveEscapeAdapter",

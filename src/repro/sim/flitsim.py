@@ -42,6 +42,7 @@ from typing import Any
 import numpy as np
 
 from repro.sim.adapters import RoutingAdapter
+from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimResult
 from repro.topologies.base import Topology
@@ -182,6 +183,7 @@ class FlitLevelSimulator:
 
         self.host_queue: list[deque[_FlitPacket]] = [deque() for _ in range(self.num_hosts)]
         self._next_arrival = np.zeros(self.num_hosts)
+        self._arrivals: PoissonGaps | None = None  # built on first use (needs rate > 0)
         self._next_pid = 0
 
         self._measure_start = self.cfg.warmup_ns
@@ -205,6 +207,14 @@ class FlitLevelSimulator:
         """Arbitration resource of a downstream unit: its channel."""
         return self.num_hosts + (out_unit - self._inj_units) // self._v
 
+    def _arrival_gaps(self) -> PoissonGaps:
+        """Per-host batched Exp(1/rate) gap streams (built lazily so a
+        zero offered load still fails at draw time, as before)."""
+        if self._arrivals is None:
+            rate = self.cfg.packets_per_ns(self.offered_gbps)
+            self._arrivals = PoissonGaps(self.cfg.seed, self.num_hosts, 1.0 / rate)
+        return self._arrivals
+
     # ------------------------------------------------------------------
     # per-cycle phases
     # ------------------------------------------------------------------
@@ -213,7 +223,7 @@ class FlitLevelSimulator:
         due = np.flatnonzero(self._next_arrival <= t_ns)
         if due.size == 0:
             return
-        rate = self.cfg.packets_per_ns(self.offered_gbps)
+        gaps = self._arrival_gaps()
         for h in due.tolist():
             while self._next_arrival[h] <= t_ns:
                 created = float(self._next_arrival[h])
@@ -228,7 +238,7 @@ class FlitLevelSimulator:
                     self._result.generated_measured += 1
                 self.host_queue[h].append(pkt)
                 self._pending_hosts.add(h)
-                self._next_arrival[h] += float(self.rng.exponential(1.0 / rate))
+                self._next_arrival[h] += gaps.next(h)
 
     def _inject(self, now: int) -> None:
         """Stream source-queue packets into injection units, one flit
@@ -385,9 +395,9 @@ class FlitLevelSimulator:
     def run(self) -> SimResult:
         horizon_ns = self._measure_end + self.cfg.drain_ns
         horizon = math.ceil(horizon_ns / self.cfg.flit_time_ns)
-        rate = self.cfg.packets_per_ns(self.offered_gbps)
+        gaps = self._arrival_gaps()
         for h in range(self.num_hosts):
-            self._next_arrival[h] = float(self.rng.exponential(1.0 / rate))
+            self._next_arrival[h] = gaps.next(h)
 
         for cycle in range(horizon):
             self._return_credits(cycle)

@@ -28,6 +28,7 @@ from collections import deque
 import numpy as np
 
 from repro.sim.adapters import RoutingAdapter
+from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
 from repro.sim.engine import EventQueue
 from repro.sim.metrics import SimResult
@@ -65,6 +66,7 @@ class NetworkSimulator:
             )
         self.num_hosts = pattern.num_hosts
         self.rng = make_rng(self.cfg.seed)
+        self._arrivals: PoissonGaps | None = None  # built on first use (needs rate > 0)
         self.eq = EventQueue()
 
         v = self.cfg.num_vcs
@@ -106,9 +108,10 @@ class NetworkSimulator:
     # traffic generation
     # ------------------------------------------------------------------
     def _schedule_next_arrival(self, host: int) -> None:
-        rate = self.cfg.packets_per_ns(self.offered_gbps)
-        gap = float(self.rng.exponential(1.0 / rate))
-        self.eq.schedule_in(gap, self._arrive, host)
+        if self._arrivals is None:
+            rate = self.cfg.packets_per_ns(self.offered_gbps)
+            self._arrivals = PoissonGaps(self.cfg.seed, self.num_hosts, 1.0 / rate)
+        self.eq.schedule_in(self._arrivals.next(host), self._arrive, host)
 
     def _arrive(self, host: int) -> None:
         now = self.eq.now

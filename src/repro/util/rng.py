@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng"]
+__all__ = ["make_rng", "sample_distinct_pairs"]
 
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -22,3 +22,36 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def sample_distinct_pairs(
+    n: int, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``k`` distinct ordered pairs ``(s, t)``, ``s != t``, sampled
+    uniformly without replacement from the ``n * (n - 1)`` possible.
+
+    Vectorized: pairs are encoded as flat indices and decoded, so no
+    per-pair Python loop and no duplicate pairs skewing sample means.
+    ``k`` is capped at the pair count; ``n < 2`` raises (there are no
+    valid pairs to draw).
+    """
+    if n < 2:
+        raise ValueError("pair sampling needs n >= 2")
+    total = n * (n - 1)
+    k = min(int(k), total)
+    if total <= (1 << 20):
+        idx = rng.choice(total, size=k, replace=False)
+    else:
+        # The flat index space is too large for choice()'s internal
+        # permutation; draw with replacement in batches, dedup, and
+        # keep a random k-subset (elements are exchangeable, so every
+        # k-subset stays equally likely).
+        seen = np.empty(0, dtype=np.int64)
+        while seen.size < k:
+            draw = rng.integers(0, total, size=2 * (k - seen.size) + 16)
+            seen = np.unique(np.concatenate([seen, draw]))
+        idx = rng.permutation(seen)[:k]
+    s = idx // (n - 1)
+    r = idx % (n - 1)
+    t = r + (r >= s)  # skip the diagonal slot in each row
+    return s.astype(np.int64), t.astype(np.int64)

@@ -66,13 +66,23 @@ class TestAccounting:
         d2 = cache.distance_matrix(topo)
         s = cache.cache_stats()
         assert (s.misses, s.memory_hits) == (1, 1)
-        assert d1 is d2  # same in-process object, not a recompute
+        # The resident entry is the int16 pack; callers get equal fresh
+        # float64 views unpacked from it, not one shared mutable array.
+        np.testing.assert_array_equal(d1, d2)
+        assert d1.dtype == d2.dtype == np.float64
 
     def test_rebuilt_topology_hits_by_fingerprint(self):
         d1 = cache.distance_matrix(DSNTopology(32))
         d2 = cache.distance_matrix(DSNTopology(32))
         assert cache.cache_stats().memory_hits == 1
-        assert d1 is d2
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_memory_tier_holds_int16_pack(self):
+        topo = DSNTopology(32)
+        cache.distance_matrix(topo)
+        entry = cache._peek((cache.topology_fingerprint(topo), "dist"))
+        assert entry is not None
+        assert entry["dist_i16"].dtype == np.int16
 
     def test_disabled_bypasses_and_counts_nothing(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE", "off")
