@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Mid-run link failures and live rerouting on the paper trio.
+
+Run:  python examples/fault_tolerance.py
+
+The paper motivates low-degree networks partly by "their simple
+management mechanisms for faults" (Section I). This example makes that
+concrete with the Fig. 10 simulation setup -- uniform traffic over the
+n=64 trio (torus / RANDOM / DSN) -- but with a *timed fault schedule*:
+a quarter of the way into the run 2% of the links die, and halfway in
+another 2% follow. The flit-level engine drops the packets caught on
+the dead links, rebuilds the routing tables on the survivor graph
+(fresh fingerprints, so no stale cached tables), and reroutes every
+packet still in flight from wherever it is.
+
+Watch three things in the table: how many packets each topology loses
+at the instant of failure, how long the in-flight population takes to
+drain onto the rebuilt tables (``recovery``), and how much accepted
+throughput the degraded network retains after the last fault.
+"""
+
+from repro.experiments import paper_trio
+from repro.faults import random_link_schedule, run_with_faults
+from repro.sim import SimConfig
+from repro.util import format_table
+
+
+def main() -> None:
+    n = 64
+    cfg = SimConfig(warmup_ns=2000, measure_ns=8000, drain_ns=16000, seed=3)
+    # Faults at 1/4 and 1/2 of the measurement window.
+    t1 = cfg.warmup_ns + 0.25 * cfg.measure_ns
+    t2 = cfg.warmup_ns + 0.50 * cfg.measure_ns
+    offered = 4.0
+
+    rows = []
+    for topo in paper_trio(n, seed=0):
+        schedule = random_link_schedule(
+            topo, times_ns=[t1, t2], fraction_per_event=0.02, seed=7
+        )
+        r = run_with_faults(topo, schedule, offered_gbps=offered, config=cfg)
+        recovery = max(f.recovery_ns for f in r.fault_records)
+        rows.append([
+            topo.name,
+            sum(f.links_failed for f in r.fault_records),
+            r.packets_dropped,
+            round(recovery, 0),
+            round(r.accepted_gbps, 2),
+            round(r.post_fault_accepted_gbps, 2),
+            round(r.avg_latency_ns, 1),
+        ])
+
+    print(format_table(
+        ["topology", "links_lost", "pkts_dropped", "recovery_ns",
+         "accepted", "post_fault", "avg_lat_ns"],
+        rows,
+        title=f"Timed link failures at n={n}, uniform {offered} Gbit/s/host "
+              "(2% + 2% of links)",
+    ))
+    print(
+        "\nEvery topology keeps delivering after losing 4% of its links:"
+        "\nthe engine rebuilds minimal-adaptive + up*/down* escape tables"
+        "\non the survivor graph at each event and in-flight packets"
+        "\nre-resolve their route from their current switch. Only packets"
+        "\nwith a flit physically on a dying link are lost -- the drop"
+        "\ncount, not a hang, is the cost of the fault. Recovery is the"
+        "\ntime until everything in flight at the fault instant drained."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,15 @@
 """Fault-tolerance analysis: metric degradation under link failures.
 
-The paper motivates low-degree topologies partly by "their simple
-management mechanisms for faults" (Section I) and the flexible DSN by
-tolerance "with node addition or failure" (Section V-C). This module
-quantifies robustness: knock out a random fraction of links and measure
-how often the network stays connected and how much the hop metrics
-degrade -- comparable across DSN, torus and RANDOM.
+Thin compatibility layer over :mod:`repro.faults` (the first-class
+fault-injection subsystem): :func:`degrade` wraps
+:class:`repro.faults.models.FaultSet` application and
+:func:`fault_sweep` draws its trials through
+:func:`repro.faults.models.sample_link_faults` -- bit-compatible with
+the historical ``rng.choice`` draws, so seeded results are unchanged.
+Hop metrics go through :func:`repro.cache.hop_stats`, which picks the
+dense or streaming engine by memory budget; see
+:mod:`repro.faults.degradation` for the full degradation-curve
+experiment (``python -m repro faults``).
 """
 
 from __future__ import annotations
@@ -13,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse.csgraph import connected_components, shortest_path
+from scipy.sparse.csgraph import connected_components
 
+from repro.faults.models import FaultSet, sample_link_faults
 from repro.topologies.base import Link, Topology
 from repro.util import make_rng
 
@@ -45,9 +50,13 @@ class FaultTrialStats:
 
 def degrade(topo: Topology, fail_links: list[Link]) -> Topology:
     """Copy of ``topo`` with the given links removed."""
-    dead = {l.endpoints() for l in fail_links}
-    kept = [l for l in topo.links if l.endpoints() not in dead]
-    return Topology(topo.n, kept, name=f"{topo.name}-minus{len(dead)}")
+    dead = FaultSet(
+        dead_links=tuple(l.endpoints() for l in fail_links), label="minus"
+    )
+    survivor = dead.apply(topo)
+    # Keep the historical name so downstream labels stay stable.
+    survivor.name = f"{topo.name}-minus{dead.num_dead_links}"
+    return survivor
 
 
 def fault_sweep(
@@ -59,30 +68,32 @@ def fault_sweep(
     """Inject random link failures and measure surviving hop metrics.
 
     Each trial removes ``round(fail_fraction * num_links)`` links chosen
-    uniformly without replacement. Diameter/ASPL are averaged over the
-    trials whose survivor graph is still connected.
+    uniformly without replacement (via
+    :func:`repro.faults.models.sample_link_faults`; the trials share one
+    RNG stream, consumed in trial order). Diameter/ASPL are averaged
+    over the trials whose survivor graph is still connected, through
+    :func:`repro.cache.hop_stats` -- dense or streaming per the memory
+    budget, never both an n x n matrix *and* its float copy.
     """
+    from repro import cache
+
     if not (0.0 <= fail_fraction < 1.0):
         raise ValueError(f"fail_fraction must be in [0, 1), got {fail_fraction}")
     rng = make_rng(seed)
-    k = round(fail_fraction * topo.num_links)
 
     connected = 0
     diameters: list[float] = []
     aspls: list[float] = []
-    links = list(topo.links)
     for _ in range(trials):
-        idx = rng.choice(len(links), size=k, replace=False) if k else []
-        survivor = degrade(topo, [links[i] for i in idx])
+        faults = sample_link_faults(topo, fail_fraction, seed=rng)
+        survivor = faults.apply(topo)
         ncomp, _ = connected_components(survivor.adjacency_csr, directed=False)
         if ncomp != 1:
             continue
         connected += 1
-        dist = shortest_path(survivor.adjacency_csr, method="D", unweighted=True, directed=False)
-        mask = ~np.eye(survivor.n, dtype=bool)
-        vals = dist[mask]
-        diameters.append(float(vals.max()))
-        aspls.append(float(vals.mean()))
+        stats = cache.hop_stats(survivor)
+        diameters.append(float(stats.diameter))
+        aspls.append(stats.aspl)
 
     return FaultTrialStats(
         name=topo.name,

@@ -13,6 +13,7 @@ regenerated without writing code:
   balance      custom routing vs up*/down* channel loads (E13)
   related      related-work diameter-and-degree + DLN-x + greedy tables
   robustness   link-failure degradation and bisection bounds
+  faults       degradation curves under link loss (streaming metrics)
   placement    cabinet-placement optimization gains (refs [7], [11])
   claims       machine-checked scorecard of every quantitative claim
   bench        benchmark smoke: timed sweep + cache/engine regression gate
@@ -98,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
     rob = sub.add_parser("robustness", help="fault tolerance + bisection")
     rob.add_argument("--n", type=int, default=128)
     rob.add_argument("--trials", type=int, default=10)
+
+    fl = sub.add_parser(
+        "faults",
+        help="degradation curves under link failures (writes a JSON artifact)",
+    )
+    fl.add_argument("--n", type=int, default=1024)
+    fl.add_argument("--fractions", type=lambda s: tuple(float(x) for x in s.split(",")),
+                    default=None, help="fail fractions (default 0,0.01,0.02,0.05,0.10)")
+    fl.add_argument("--trials", type=int, default=None,
+                    help="trials per point (default REPRO_FAULT_TRIALS or 10)")
+    fl.add_argument("--kinds", type=lambda s: tuple(s.split(",")), default=None,
+                    help="topology kinds (default the paper trio)")
+    fl.add_argument("--seed", type=int, default=0)
+    fl.add_argument("--out", default="DEGRADATION.json", help="artifact path")
+    fl.add_argument("--workers", type=_workers, default=None,
+                    help="process-pool size (or 'auto'); default REPRO_WORKERS")
 
     pl = sub.add_parser("placement", help="cabinet-placement optimization gains")
     pl.add_argument("--n", type=int, default=256)
@@ -247,6 +264,18 @@ def _cmd_robustness(args) -> None:
     print(table)
 
 
+def _cmd_faults(args) -> None:
+    from repro.faults import DEFAULT_FRACTIONS, degradation_artifact
+
+    fractions = args.fractions if args.fractions else DEFAULT_FRACTIONS
+    table, _ = degradation_artifact(
+        args.out, n=args.n, fractions=fractions, trials=args.trials,
+        seed=args.seed, kinds=args.kinds, workers=args.workers,
+    )
+    print(table)
+    print(f"\nwrote {args.out}")
+
+
 def _cmd_placement(args) -> None:
     from repro.experiments import placement_table
 
@@ -324,6 +353,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "balance": _cmd_balance,
         "related": _cmd_related,
         "robustness": _cmd_robustness,
+        "faults": _cmd_faults,
         "placement": _cmd_placement,
         "report": _cmd_report,
         "diagram": _cmd_diagram,

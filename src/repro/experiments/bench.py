@@ -5,16 +5,19 @@ artifact cache's speedup is demonstrated on every run, (b) checks the
 outputs are *identical* across cold/warm and serial/parallel execution
 (caching and process pools must never change results), (c)
 cross-validates the event-driven and flit-level engines at zero load,
-(d) gates the large-n metrics engine -- the blocked streaming BFS must
-be bit-identical to the dense matrix on every trio kind up to n=2048,
-and an out-of-process run at n=65536 (8192 in quick mode) must finish
-with peak RSS far below any n x n matrix -- and (e) optionally runs
-the tier-1 pytest suite. The timings land in a ``BENCH_*.json``
+(d) gates the fault-injection engine -- a timed link-failure schedule
+must reroute deterministically and account for every measured packet,
+and a tiny degradation point must flow through the streaming metrics
+path -- (e) gates the large-n metrics engine -- the blocked streaming
+BFS must be bit-identical to the dense matrix on every trio kind up to
+n=2048, and an out-of-process run at n=65536 (8192 in quick mode) must
+finish with peak RSS far below any n x n matrix -- and (f) optionally
+runs the tier-1 pytest suite. The timings land in a ``BENCH_*.json``
 evidence file (see :mod:`repro.util.profiling`).
 
 Exit is non-zero when an identity check, the cross-validation, the
-large-n gate, or the tier-1 suite fails -- this is the CI regression
-gate for the fast path.
+fault smoke, the large-n gate, or the tier-1 suite fails -- this is
+the CI regression gate for the fast path.
 """
 
 from __future__ import annotations
@@ -109,6 +112,42 @@ def _crossval_zero_load():
         return engine(topo, adapter, pattern, 0.5, cfg).run()
 
     return run(NetworkSimulator), run(FlitLevelSimulator)
+
+
+def _fault_smoke():
+    """Fault-injection gate: a timed link-failure schedule against a
+    small DSN must (a) reroute at every event, (b) account for every
+    measured packet as delivered or dropped, and (c) be bit-identical
+    across two runs (the engine is single-process, so this is the
+    determinism contract ``REPRO_WORKERS`` relies on)."""
+    from repro.core import DSNTopology
+    from repro.faults import random_link_schedule, run_with_faults
+    from repro.sim import SimConfig
+
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+    topo = DSNTopology(16)
+    sched = random_link_schedule(topo, [3000.0, 5000.0], 0.03, seed=5)
+    r1 = run_with_faults(topo, sched, offered_gbps=2.0, config=cfg)
+    r2 = run_with_faults(topo, sched, offered_gbps=2.0, config=cfg)
+    identical = (
+        r1.delivered_measured == r2.delivered_measured
+        and r1.packets_dropped == r2.packets_dropped
+        and r1.latencies_ns == r2.latencies_ns
+        and [f.recovery_ns for f in r1.fault_records]
+        == [f.recovery_ns for f in r2.fault_records]
+    )
+    accounted = r1.delivered_measured + r1.dropped_measured >= r1.generated_measured
+    rerouted = len(r1.fault_records) == len(sched.events)
+    return identical and accounted and rerouted, r1
+
+
+def _fault_degradation_smoke(workers=None):
+    """One tiny degradation point through the streaming metrics path."""
+    from repro.faults import degradation_point
+
+    pt = degradation_point("dsn", 64, 0.05, trials=2, seed=0, workers=workers)
+    ok = pt.connected_fraction > 0 and pt.mean_aspl == pt.mean_aspl
+    return ok, pt
 
 
 def _streaming_identity(cases) -> bool:
@@ -206,6 +245,14 @@ def run_bench(
         rel = abs(fl.avg_latency_ns - ev.avg_latency_ns) / ev.avg_latency_ns
         checks["crossval_zero_load_latency"] = rel <= CROSSVAL_RTOL
 
+        # --- fault-injection smoke ------------------------------------
+        with timer.stage("fault_reroute_smoke"):
+            checks["fault_reroute_deterministic"], fault_res = _fault_smoke()
+        with timer.stage("fault_degradation_smoke"):
+            checks["fault_degradation_smoke"], fault_pt = _fault_degradation_smoke(
+                workers=workers
+            )
+
         # --- large-n metrics engine gate ------------------------------
         with timer.stage("streaming_identity"):
             checks["streaming_identity"] = _streaming_identity(identity_cases)
@@ -252,6 +299,21 @@ def run_bench(
             "speedup_warm_vs_cold": round(speedup, 2),
             "crossval_rel_error": round(rel, 4),
             "identity_cases": [list(c) for c in identity_cases],
+            "fault_smoke": {
+                "packets_dropped": fault_res.packets_dropped,
+                "dropped_measured": fault_res.dropped_measured,
+                "fault_events": len(fault_res.fault_records),
+                "recovery_ns": [f.recovery_ns for f in fault_res.fault_records],
+                "post_fault_accepted_gbps": fault_res.post_fault_accepted_gbps,
+            },
+            "fault_degradation": {
+                "kind": fault_pt.kind,
+                "n": fault_pt.n,
+                "fail_fraction": fault_pt.fail_fraction,
+                "connected_fraction": fault_pt.connected_fraction,
+                "mean_aspl": fault_pt.mean_aspl,
+                "throughput_retention": fault_pt.throughput_retention,
+            },
             "large_n": large_n_stats,
             "large_n_rss_cap_mb": LARGE_N_RSS_MB if large_n else None,
             "checks": checks,

@@ -49,28 +49,33 @@ def rerouting_table(
     average up*/down* path length after failures vs before -- for each
     topology in the trio. Trials whose survivor graph disconnects are
     counted separately (rerouting cannot help those).
+
+    Fault draws go through :func:`repro.faults.models.sample_link_faults`
+    (the shared :func:`repro.util.sample_indices` sampler; bit-compatible
+    with the historical hand-rolled ``rng.choice``) and routings through
+    :func:`repro.cache.updown_routing`, so the intact baseline is shared
+    with every other consumer and each survivor's tables are derived
+    fresh under its own fingerprint.
     """
     import numpy as np
 
-    from repro.analysis.faults import degrade
-    from repro.routing.updown import UpDownRouting
+    from repro import cache
+    from repro.faults.models import sample_link_faults
     from repro.util import make_rng
 
     rng = make_rng(seed)
     rows: list[dict] = []
     for topo in paper_trio(n, seed=seed):
-        baseline = UpDownRouting(topo).average_path_length()
-        k = round(fail_fraction * topo.num_links)
+        baseline = cache.updown_routing(topo).average_path_length()
         stretches = []
         disconnected = 0
-        links = list(topo.links)
         for _ in range(trials):
-            idx = rng.choice(len(links), size=k, replace=False)
-            survivor = degrade(topo, [links[i] for i in idx])
+            faults = sample_link_faults(topo, fail_fraction, seed=rng)
+            survivor = faults.apply(topo)
             if not survivor.is_connected():
                 disconnected += 1
                 continue
-            after = UpDownRouting(survivor).average_path_length()
+            after = cache.updown_routing(survivor).average_path_length()
             stretches.append(after / baseline)
         rows.append({
             "name": topo.name,

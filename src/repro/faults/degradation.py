@@ -1,0 +1,226 @@
+"""Degradation curves: metric decay of the paper trio under link loss.
+
+The `python -m repro faults` experiment. For each topology kind in the
+paper's Fig. 7-10 comparison set (torus / RANDOM / DSN) and each fail
+fraction in the sweep, it injects :func:`repro.faults.models.sample_link_faults`
+trials and reports:
+
+* ``connected_fraction`` -- how often the survivor graph holds together;
+* ``mean_diameter`` / ``mean_aspl`` -- hop metrics over connected trials;
+* ``throughput_retention`` -- the uniform-traffic capacity proxy
+  ``theta = 2 * links / (n * aspl)`` of the survivor relative to the
+  intact network (every delivered packet occupies ``aspl`` of the
+  ``2 * links`` directed channels on average, so ``theta`` bounds the
+  per-node injection rate; the ratio cancels the units).
+
+Metrics always go through :func:`repro.analysis.blocked.streaming_hop_stats`,
+the O(n)-memory blocked bit-parallel BFS -- the curves run at n = 4096
+and beyond without ever allocating an n x n matrix, and the statistics
+are bit-identical for every ``REPRO_BFS_BLOCK`` and worker count.
+
+Determinism: trial ``t`` of (kind, fraction) draws its fault set from a
+``SeedSequence([seed, kind_index, fraction_index, t])``-derived stream,
+so results are independent of how trials are distributed over
+``REPRO_WORKERS`` processes (``parallel_map`` preserves input order).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.blocked import streaming_hop_stats
+from repro.faults.models import sample_link_faults
+from repro.util import format_table
+from repro.util.parallel import parallel_map
+
+__all__ = [
+    "DegradationPoint",
+    "DEFAULT_FRACTIONS",
+    "default_trials",
+    "degradation_point",
+    "degradation_curves",
+    "degradation_artifact",
+]
+
+#: Fail fractions of the default sweep (0 anchors the intact baseline).
+DEFAULT_FRACTIONS = (0.0, 0.01, 0.02, 0.05, 0.10)
+
+_DEFAULT_TRIALS = 10
+
+
+def default_trials() -> int:
+    """Trials per sweep point: ``REPRO_FAULT_TRIALS`` or 10.
+
+    A knob rather than an argument-only default so CI and batch jobs
+    can cheapen/deepen every fault sweep without touching call sites
+    (same spirit as ``REPRO_WORKERS``); results stay deterministic for
+    a fixed value because trial seeds depend only on the trial index.
+    """
+    raw = os.environ.get("REPRO_FAULT_TRIALS", "").strip()
+    try:
+        trials = int(raw) if raw else _DEFAULT_TRIALS
+    except ValueError:
+        return _DEFAULT_TRIALS
+    return max(1, trials)
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One (topology, fail fraction) point of a degradation curve."""
+
+    name: str
+    kind: str
+    n: int
+    fail_fraction: float
+    trials: int
+    connected_fraction: float
+    mean_diameter: float  #: over connected trials (nan if none)
+    mean_aspl: float  #: over connected trials (nan if none)
+    #: mean survivor capacity proxy relative to the intact network,
+    #: over connected trials (nan if none).
+    throughput_retention: float
+
+    def row(self) -> list:
+        def fmt(x: float, nd: int) -> object:
+            return round(x, nd) if x == x else "-"
+
+        return [
+            self.name,
+            self.fail_fraction,
+            round(self.connected_fraction, 3),
+            fmt(self.mean_diameter, 2),
+            fmt(self.mean_aspl, 3),
+            fmt(self.throughput_retention, 3),
+        ]
+
+
+def _trial(args: tuple) -> tuple[bool, float, float, float]:
+    """One fault trial; module-level for process-pool pickling.
+
+    ``args`` is ``(kind, n, topo_seed, fraction, trial_entropy)``;
+    returns ``(connected, diameter, aspl, links_kept_fraction)``. The
+    topology is rebuilt in the worker (memoized per process) so only
+    scalars cross the IPC boundary.
+    """
+    from repro.experiments.sweeps import make_topology
+
+    kind, n, topo_seed, fraction, entropy = args
+    topo = make_topology(kind, n, seed=topo_seed)
+    rng = np.random.default_rng(np.random.SeedSequence(list(entropy)))
+    faults = sample_link_faults(topo, fraction, seed=rng)
+    survivor = faults.apply(topo)
+    if not survivor.is_connected():
+        return False, float("nan"), float("nan"), float("nan")
+    # Streaming engine: O(n) memory, exact, block/worker invariant.
+    # Workers=1 inside the trial -- the fan-out is over trials.
+    stats = streaming_hop_stats(survivor, workers=1)
+    kept = survivor.num_links / topo.num_links
+    return True, float(stats.diameter), stats.aspl, kept
+
+
+def _entropy(seed: int, kind_idx: int, frac_idx: int, trial: int) -> tuple:
+    """Stable per-trial SeedSequence entropy key."""
+    return (seed, kind_idx, frac_idx, trial)
+
+
+def degradation_point(
+    kind: str,
+    n: int,
+    fail_fraction: float,
+    trials: int | None = None,
+    seed: int = 0,
+    kind_idx: int = 0,
+    frac_idx: int = 0,
+    workers: int | None = None,
+) -> DegradationPoint:
+    """Aggregate ``trials`` fault trials at one (kind, fraction) point."""
+    from repro.experiments.sweeps import make_topology
+
+    trials = default_trials() if trials is None else trials
+    topo = make_topology(kind, n, seed=seed)
+    base = streaming_hop_stats(topo, workers=workers)
+    jobs = [
+        (kind, n, seed, fail_fraction, _entropy(seed, kind_idx, frac_idx, t))
+        for t in range(trials)
+    ]
+    results = parallel_map(_trial, jobs, workers=workers)
+
+    ok = [r for r in results if r[0]]
+    diams = [r[1] for r in ok]
+    aspls = [r[2] for r in ok]
+    # theta_f / theta_0 = (links_f * aspl_0) / (links_0 * aspl_f)
+    retention = [r[3] * base.aspl / r[2] for r in ok]
+    return DegradationPoint(
+        name=topo.name,
+        kind=kind,
+        n=n,
+        fail_fraction=fail_fraction,
+        trials=trials,
+        connected_fraction=len(ok) / trials,
+        mean_diameter=float(np.mean(diams)) if diams else float("nan"),
+        mean_aspl=float(np.mean(aspls)) if aspls else float("nan"),
+        throughput_retention=float(np.mean(retention)) if retention else float("nan"),
+    )
+
+
+def degradation_curves(
+    n: int = 1024,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    trials: int | None = None,
+    seed: int = 0,
+    kinds: tuple[str, ...] | None = None,
+    workers: int | None = None,
+) -> tuple[str, list[DegradationPoint]]:
+    """Full degradation sweep: kinds x fractions, formatted + raw."""
+    from repro.experiments.sweeps import PAPER_TRIO
+
+    trials = default_trials() if trials is None else trials
+    kinds = tuple(kinds) if kinds else PAPER_TRIO
+    points: list[DegradationPoint] = []
+    for ki, kind in enumerate(kinds):
+        for fi, frac in enumerate(fractions):
+            points.append(
+                degradation_point(
+                    kind, n, frac, trials=trials, seed=seed,
+                    kind_idx=ki, frac_idx=fi, workers=workers,
+                )
+            )
+    table = format_table(
+        ["topology", "fail_frac", "P(connected)", "diameter", "aspl", "thr_retention"],
+        [p.row() for p in points],
+        title=f"Degradation curves at n={n} ({trials} trials/point, streaming metrics)",
+    )
+    return table, points
+
+
+def degradation_artifact(
+    path: str | Path,
+    n: int = 1024,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    trials: int | None = None,
+    seed: int = 0,
+    kinds: tuple[str, ...] | None = None,
+    workers: int | None = None,
+) -> tuple[str, list[DegradationPoint]]:
+    """Run :func:`degradation_curves` and write the JSON artifact."""
+    trials = default_trials() if trials is None else trials
+    table, points = degradation_curves(
+        n=n, fractions=fractions, trials=trials, seed=seed,
+        kinds=kinds, workers=workers,
+    )
+    payload = {
+        "experiment": "degradation_curves",
+        "n": n,
+        "fractions": list(fractions),
+        "trials": trials,
+        "seed": seed,
+        "engine": "streaming_hop_stats",
+        "points": [asdict(p) for p in points],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return table, points

@@ -1,0 +1,203 @@
+"""Deterministic fault models: which links/switches fail, and why.
+
+The paper motivates low-degree topologies partly by "their simple
+management mechanisms for faults" (Section I); the related small-world
+fault-tolerance literature (Demichev et al., arXiv:1312.0510) shows
+that *degradation under failure* is where small-world regular networks
+differentiate. This module is the single place fault sets come from:
+
+* :func:`bernoulli_link_faults` / :func:`bernoulli_switch_faults` --
+  i.i.d. failures with probability ``p`` per element;
+* :func:`sample_link_faults` -- exactly ``round(fraction * L)`` links,
+  uniform without replacement (the classic sweep knob);
+* :func:`repro.faults.spatial.cabinet_burst_faults` -- spatially
+  correlated bursts driven by the cabinet floorplan coordinates.
+
+Every model is a pure function of ``(topology, parameters, rng
+state)``: links are always visited in the topology's canonical sorted
+link order and sampling goes through :func:`repro.util.rng` helpers,
+so the same seed yields the same :class:`FaultSet` on every machine,
+worker count and block size. A :class:`FaultSet` is itself immutable
+and hashable; applying it produces a *new* :class:`Topology` whose
+edge list (and therefore :func:`repro.cache.topology_fingerprint`)
+differs from the intact network, which is what guarantees the artifact
+cache can never serve stale routing tables for a degraded graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topologies.base import Link, Topology
+from repro.util import make_rng, sample_indices
+
+__all__ = [
+    "FaultSet",
+    "bernoulli_link_faults",
+    "bernoulli_switch_faults",
+    "sample_link_faults",
+    "induced_survivor",
+]
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """An immutable set of failed links and switches.
+
+    ``dead_links`` holds canonical ``(u, v)`` endpoint pairs with
+    ``u < v``, sorted; ``dead_switches`` is sorted too. A failed switch
+    implicitly fails every incident link (:meth:`apply` removes them),
+    but the switch ids are kept so analysis can distinguish "isolated
+    by link loss" from "the switch itself is gone".
+    """
+
+    dead_links: tuple[tuple[int, int], ...] = ()
+    dead_switches: tuple[int, ...] = ()
+    label: str = "faults"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dead_links",
+            tuple(sorted({(u, v) if u < v else (v, u) for u, v in self.dead_links})),
+        )
+        object.__setattr__(self, "dead_switches", tuple(sorted(set(self.dead_switches))))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_dead_links(self) -> int:
+        return len(self.dead_links)
+
+    @property
+    def num_dead_switches(self) -> int:
+        return len(self.dead_switches)
+
+    def is_empty(self) -> bool:
+        return not self.dead_links and not self.dead_switches
+
+    def union(self, other: "FaultSet") -> "FaultSet":
+        """Combined fault set (links and switches of both)."""
+        return FaultSet(
+            self.dead_links + other.dead_links,
+            self.dead_switches + other.dead_switches,
+            label=f"{self.label}+{other.label}",
+        )
+
+    def kills_link(self, u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        dead = set(self.dead_links)
+        return key in dead or u in self.dead_switches or v in self.dead_switches
+
+    def dead_link_set(self, topo: Topology) -> set[tuple[int, int]]:
+        """Every link of ``topo`` this fault set removes, as canonical
+        endpoint pairs -- explicit link faults plus all links incident
+        to a dead switch."""
+        dead = set(self.dead_links)
+        if self.dead_switches:
+            gone = set(self.dead_switches)
+            for link in topo.links:
+                if link.u in gone or link.v in gone:
+                    dead.add(link.endpoints())
+        return dead
+
+    def apply(self, topo: Topology) -> Topology:
+        """Survivor topology: ``topo`` minus every dead link.
+
+        All ``n`` switch ids are kept (a switch with no surviving link
+        becomes isolated), so node identities -- and the simulator's
+        host addressing -- are stable across fault application. The
+        survivor's name embeds the fault label and count; its edge list
+        differs from the intact network, so its topology fingerprint
+        (and every cached routing artifact) is distinct by construction.
+        """
+        dead = self.dead_link_set(topo)
+        for u, v in self.dead_links:
+            if not topo.has_link(u, v):
+                raise ValueError(f"fault set kills nonexistent link ({u}, {v}) of {topo.name}")
+        for s in self.dead_switches:
+            if not (0 <= s < topo.n):
+                raise ValueError(f"fault set kills nonexistent switch {s} of {topo.name}")
+        kept = [l for l in topo.links if l.endpoints() not in dead]
+        return Topology(
+            topo.n, kept, name=f"{topo.name}!{self.label}-{len(dead)}"
+        )
+
+
+def bernoulli_link_faults(
+    topo: Topology,
+    p: float,
+    seed: int | np.random.Generator | None = 0,
+    label: str = "bern",
+) -> FaultSet:
+    """Each link fails independently with probability ``p``.
+
+    Deterministic: one uniform draw per link in canonical link order.
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"failure probability must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    draws = rng.random(topo.num_links)
+    dead = tuple(l.endpoints() for l, x in zip(topo.links, draws) if x < p)
+    return FaultSet(dead_links=dead, label=label)
+
+
+def bernoulli_switch_faults(
+    topo: Topology,
+    p: float,
+    seed: int | np.random.Generator | None = 0,
+    label: str = "swbern",
+) -> FaultSet:
+    """Each switch fails independently with probability ``p`` (taking
+    all its incident links down with it)."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"failure probability must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    draws = rng.random(topo.n)
+    return FaultSet(dead_switches=tuple(np.flatnonzero(draws < p).tolist()), label=label)
+
+
+def sample_link_faults(
+    topo: Topology,
+    fail_fraction: float,
+    seed: int | np.random.Generator | None = 0,
+    label: str = "unif",
+) -> FaultSet:
+    """Exactly ``round(fail_fraction * num_links)`` links, uniform
+    without replacement -- the sweep model of the degradation curves."""
+    if not (0.0 <= fail_fraction < 1.0):
+        raise ValueError(f"fail_fraction must be in [0, 1), got {fail_fraction}")
+    rng = make_rng(seed)
+    k = round(fail_fraction * topo.num_links)
+    idx = sample_indices(topo.num_links, k, rng)
+    links = topo.links
+    return FaultSet(
+        dead_links=tuple(links[int(i)].endpoints() for i in idx), label=label
+    )
+
+
+def induced_survivor(
+    topo: Topology, faults: FaultSet
+) -> tuple[Topology | None, np.ndarray]:
+    """Survivor graph induced on the *live* switches, compactly relabeled.
+
+    Returns ``(survivor, live_ids)`` where ``live_ids[i]`` is the
+    original id of survivor node ``i``. Dead switches are excluded from
+    the node set entirely (a dead switch should not count against
+    connectivity); nodes isolated by pure link loss are kept, so a
+    link-fault-only analysis still sees them as disconnected. Returns
+    ``(None, live_ids)`` when fewer than two switches survive.
+    """
+    gone = set(faults.dead_switches)
+    live = np.array([v for v in range(topo.n) if v not in gone], dtype=np.int64)
+    if live.size < 2:
+        return None, live
+    remap = {int(old): new for new, old in enumerate(live.tolist())}
+    dead = faults.dead_link_set(topo)
+    kept = [
+        Link(remap[l.u], remap[l.v], l.cls)
+        for l in topo.links
+        if l.endpoints() not in dead
+    ]
+    name = f"{topo.name}!{faults.label}-live{live.size}"
+    return Topology(int(live.size), kept, name=name), live

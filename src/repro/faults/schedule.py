@@ -1,0 +1,129 @@
+"""Timed fault schedules: *when* the failures of a run happen.
+
+A :class:`FaultSchedule` is an immutable, time-sorted sequence of
+:class:`FaultEvent` -- each a simulation timestamp plus a
+:class:`~repro.faults.models.FaultSet` that becomes true at that
+instant. The flit-level simulator consumes schedules directly
+(``FlitLevelSimulator(..., fault_schedule=...)``): at each event it
+drops the in-flight flits on the dead links, rebuilds the routing
+tables on the survivor graph and reroutes everything still in the
+network (see :mod:`repro.faults.dynamic` and ``docs/resilience.md``).
+
+Builders here compose the static models into schedules. All of them
+inherit the models' determinism: a schedule is a pure function of
+``(topology, parameters, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.faults.models import FaultSet
+from repro.topologies.base import Topology
+from repro.util import make_rng, sample_indices
+
+__all__ = ["FaultEvent", "FaultSchedule", "random_link_schedule"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failure instant: at ``time_ns``, ``faults`` become true."""
+
+    time_ns: float
+    faults: FaultSet
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time_ns}")
+
+
+class FaultSchedule:
+    """Immutable time-sorted sequence of fault events.
+
+    Events sharing a timestamp are merged in order, so the simulator
+    applies at most one table rebuild per instant.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent]):
+        self._events = tuple(sorted(events, key=lambda e: e.time_ns))
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def cumulative(self) -> FaultSet:
+        """Every link/switch that is dead once the schedule completes."""
+        total = FaultSet(label="cum")
+        for e in self._events:
+            total = total.union(e.faults)
+        return FaultSet(total.dead_links, total.dead_switches, label="cum")
+
+    def final_topology(self, topo: Topology) -> Topology:
+        """The survivor graph after the last event."""
+        return self.cumulative().apply(topo)
+
+    def validate(self, topo: Topology) -> None:
+        """Check every event kills existing elements, no link twice,
+        and the final survivor stays connected (the regime in which
+        mid-run rerouting is well-defined)."""
+        seen: set[tuple[int, int]] = set()
+        for e in self._events:
+            for u, v in e.faults.dead_links:
+                if not topo.has_link(u, v):
+                    raise ValueError(f"event at {e.time_ns}ns kills nonexistent link ({u}, {v})")
+                if (u, v) in seen:
+                    raise ValueError(f"link ({u}, {v}) fails in two events")
+                seen.add((u, v))
+        if not self.final_topology(topo).is_connected():
+            raise ValueError(
+                "schedule disconnects the network; mid-run rerouting is undefined"
+            )
+
+
+def random_link_schedule(
+    topo: Topology,
+    times_ns: Iterable[float],
+    fraction_per_event: float,
+    seed: int | np.random.Generator | None = 0,
+    require_connected: bool = True,
+) -> FaultSchedule:
+    """Uniform link failures split across timed events, disjointly.
+
+    Each event kills ``round(fraction_per_event * num_links)`` links
+    sampled (without replacement, via :func:`repro.util.sample_indices`)
+    from the links still alive before it, so no link dies twice. With
+    ``require_connected`` (the default) the draw is retried -- with
+    fresh, still-deterministic randomness -- until the *final* survivor
+    graph is connected, raising after 64 attempts.
+    """
+    times = sorted(float(t) for t in times_ns)
+    rng = make_rng(seed)
+    k = round(fraction_per_event * topo.num_links)
+    for _ in range(64):
+        alive = list(range(topo.num_links))
+        events = []
+        for i, t in enumerate(times):
+            idx = sample_indices(len(alive), k, rng)
+            chosen = [alive[int(j)] for j in idx]
+            alive = [j for j in alive if j not in set(chosen)]
+            dead = tuple(topo.links[j].endpoints() for j in chosen)
+            events.append(FaultEvent(t, FaultSet(dead_links=dead, label=f"t{i}")))
+        schedule = FaultSchedule(events)
+        if not require_connected or schedule.final_topology(topo).is_connected():
+            return schedule
+    raise ValueError(
+        f"could not draw a connected {fraction_per_event:.0%}/event schedule "
+        f"for {topo.name} in 64 attempts"
+    )

@@ -1,0 +1,118 @@
+"""Spatially correlated fault models driven by the cabinet floorplan.
+
+Real failures cluster: a PDU trip, a cooling event or a maintenance
+accident takes out a *region* of the machine room, not a uniform
+sample of links. The paper's deployment model (Section VI-B) places
+switches into cabinets on a 2-D grid -- :class:`repro.layout.Floorplan`
+-- and this module reuses those physical coordinates to build burst
+fault sets:
+
+* :func:`cabinet_burst_faults` -- one or more burst epicenters at
+  random cabinets; a link fails with probability ``p_near`` when its
+  nearest endpoint cabinet lies within ``radius_m`` of an epicenter,
+  decaying exponentially with the extra distance beyond the radius
+  (scale ``decay_m``; ``decay_m=None`` gives a hard cutoff).
+* :func:`cabinet_faults` -- deterministically kill every link with an
+  endpoint in the given cabinets (the "the whole rack went dark" case).
+
+Determinism matches :mod:`repro.faults.models`: epicenters are drawn
+first, then one uniform per link in canonical link order, so a fault
+set is a pure function of ``(topology, parameters, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.models import FaultSet
+from repro.layout import Floorplan, FloorplanConfig
+from repro.topologies.base import Topology
+from repro.util import make_rng
+
+__all__ = ["cabinet_burst_faults", "cabinet_faults"]
+
+
+def _cabinet_positions(plan: Floorplan) -> np.ndarray:
+    return np.array(
+        [plan.cabinet_position(c) for c in range(plan.num_cabinets)], dtype=float
+    )
+
+
+def cabinet_burst_faults(
+    topo: Topology,
+    seed: int | np.random.Generator | None = 0,
+    bursts: int = 1,
+    radius_m: float = 2.0,
+    p_near: float = 0.9,
+    decay_m: float | None = 1.0,
+    config: FloorplanConfig | None = None,
+    label: str = "burst",
+) -> FaultSet:
+    """Correlated link failures around random cabinet epicenters.
+
+    Each of the ``bursts`` epicenters is a cabinet chosen uniformly.
+    For every link, ``d`` is the smallest Manhattan distance (meters)
+    from either endpoint's cabinet to any epicenter; the link fails
+    independently with probability::
+
+        p_near                                   if d <= radius_m
+        p_near * exp(-(d - radius_m) / decay_m)  otherwise (decay_m set)
+        0                                        otherwise (hard cutoff)
+
+    Intra-cabinet links at an epicenter fail with ``p_near``; the decay
+    makes adjacent cabinets suffer too, which is what distinguishes a
+    burst from the same expected number of uniform failures.
+    """
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if not (0.0 <= p_near <= 1.0):
+        raise ValueError(f"p_near must be in [0, 1], got {p_near}")
+    rng = make_rng(seed)
+    plan = Floorplan(topo.n, config)
+    pos = _cabinet_positions(plan)
+    centers = pos[rng.integers(0, plan.num_cabinets, size=bursts)]
+
+    # Distance of each cabinet to its nearest epicenter (Manhattan).
+    d_cab = np.abs(pos[:, None, :] - centers[None, :, :]).sum(axis=2).min(axis=1)
+
+    dead: list[tuple[int, int]] = []
+    draws = rng.random(topo.num_links)
+    for link, x in zip(topo.links, draws):
+        d = min(d_cab[plan.cabinet_of(link.u)], d_cab[plan.cabinet_of(link.v)])
+        if d <= radius_m:
+            p = p_near
+        elif decay_m is not None:
+            p = p_near * math.exp(-(d - radius_m) / decay_m)
+        else:
+            p = 0.0
+        if x < p:
+            dead.append(link.endpoints())
+    return FaultSet(dead_links=tuple(dead), label=label)
+
+
+def cabinet_faults(
+    topo: Topology,
+    cabinets: tuple[int, ...] | list[int],
+    config: FloorplanConfig | None = None,
+    label: str = "cabinet",
+) -> FaultSet:
+    """Kill every link with an endpoint in the given cabinets.
+
+    Deterministic (no randomness): the model for "this rack lost
+    power". Switches themselves are left alive so host addressing is
+    stable; use :func:`repro.faults.models.bernoulli_switch_faults`
+    for dead-switch semantics.
+    """
+    plan = Floorplan(topo.n, config)
+    chosen = set(int(c) for c in cabinets)
+    for c in chosen:
+        if not (0 <= c < plan.num_cabinets):
+            raise ValueError(f"cabinet {c} out of range [0, {plan.num_cabinets})")
+    dead = tuple(
+        l.endpoints()
+        for l in topo.links
+        if plan.cabinet_of(l.u) in chosen or plan.cabinet_of(l.v) in chosen
+    )
+    return FaultSet(dead_links=dead, label=label)

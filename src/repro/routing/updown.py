@@ -176,8 +176,11 @@ class UpDownRouting:
         return out
 
     def average_path_length(self) -> float:
-        """Mean legal-path length over all ordered pairs (s != t)."""
-        d = self._dist[_UP_OK].astype(float)
+        """Mean legal-path length over all ordered pairs (s != t).
+
+        Exact: the integer distance total over the ordered-pair count
+        (the all-zero diagonal contributes nothing), with no n x n
+        temporary -- the old mask-based mean allocated two."""
+        d = self._dist[_UP_OK]
         n = self.topo.n
-        mask = ~np.eye(n, dtype=bool)
-        return float(d[mask].mean())
+        return float(d.sum(dtype=np.int64)) / (n * (n - 1))

@@ -31,20 +31,35 @@ advanced past the granted requester.
 The engine is still the slower reference next to the event-driven one;
 experiments use it for cross-validation (tests pin the two engines to
 the same zero-load latency) and for the wormhole-vs-VCT ablation.
+
+**Dynamic fault injection** (``fault_schedule=``): links can die
+mid-run. At each fault instant the engine discards every flit sitting
+on (or committed to) a dead channel -- the owning packets are dropped
+whole and counted -- cancels not-yet-used reservations into dead
+channels, rebuilds the routing adapter on the survivor graph via
+``adapter_factory`` (new topology fingerprint, so :mod:`repro.cache`
+re-derives the CSR next-hop and up*/down* tables instead of serving
+stale ones) and bumps a *reroute epoch*: every packet still in flight
+re-resolves its routing state from its current switch at its next
+routing decision. Recovery time (ns until the pre-fault in-flight
+population has drained over the new tables) and post-fault accepted
+traffic land in the :class:`~repro.sim.metrics.SimResult`. See
+``docs/resilience.md`` for the exact semantics.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from collections import defaultdict, deque
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.sim.adapters import RoutingAdapter
 from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
-from repro.sim.metrics import SimResult
+from repro.sim.metrics import FaultRecord, SimResult
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
 from repro.util import make_rng
@@ -65,6 +80,7 @@ class _FlitPacket:
         "measured",
         "rstate",
         "hops",
+        "repoch",
     )
 
     def __init__(self, pid, src_host, dst_host, dst_switch, size, created_ns, measured):
@@ -77,6 +93,7 @@ class _FlitPacket:
         self.measured = measured
         self.rstate: Any = None
         self.hops = 0
+        self.repoch = 0  #: reroute epoch the rstate was derived under
 
 
 #: input-unit states
@@ -114,6 +131,14 @@ class FlitLevelSimulator:
     ``buffer_flits``: input-buffer depth per VC in flits. ``None`` means
     one full packet (virtual cut-through); smaller values give wormhole
     behaviour.
+
+    ``fault_schedule`` (a :class:`repro.faults.FaultSchedule`, or any
+    object with the same ``events``/``validate`` surface) injects timed
+    link failures; it requires ``adapter_factory``, a callable mapping
+    a survivor :class:`Topology` to a fresh :class:`RoutingAdapter`
+    (see :mod:`repro.faults.dynamic` for the standard factories). Only
+    link faults are supported dynamically -- a schedule with dead
+    switches is rejected, since hosts would vanish mid-run.
     """
 
     def __init__(
@@ -124,12 +149,26 @@ class FlitLevelSimulator:
         offered_gbps: float,
         config: SimConfig | None = None,
         buffer_flits: int | None = None,
+        fault_schedule=None,
+        adapter_factory: Callable[[Topology], RoutingAdapter] | None = None,
     ):
         self.topo = topo
+        self.live_topo = topo  #: survivor graph after applied faults
         self.adapter = adapter
+        self.adapter_factory = adapter_factory
         self.pattern = pattern
         self.offered_gbps = offered_gbps
         self.cfg = config or SimConfig()
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None and len(fault_schedule):
+            if adapter_factory is None:
+                raise ValueError(
+                    "fault_schedule needs adapter_factory to rebuild routing "
+                    "on the survivor graph (see repro.faults.dynamic)"
+                )
+            if any(e.faults.dead_switches for e in fault_schedule.events):
+                raise ValueError("dynamic fault injection supports link faults only")
+            fault_schedule.validate(topo)
         self.buffer_flits = buffer_flits if buffer_flits is not None else self.cfg.packet_flits
         if self.buffer_flits < 1:
             raise ValueError("buffer_flits must be >= 1")
@@ -181,6 +220,19 @@ class FlitLevelSimulator:
         self._busy: set[int] = set()  # units that may need per-cycle work
         self._pending_hosts: set[int] = set()  # hosts with queued packets
 
+        # Fault machinery: events keyed by due cycle, a reroute epoch
+        # stamped on packets, and per-event recovery trackers.
+        self._reroute_epoch = 0
+        self._fault_queue: list[tuple[int, object]] = []
+        if fault_schedule is not None:
+            self._fault_queue = [
+                (math.ceil(e.time_ns / self.cfg.flit_time_ns), e.faults)
+                for e in fault_schedule.events
+            ]
+        self._recovering: list[tuple[FaultRecord, set[int]]] = []
+        self._faults_left = len(self._fault_queue)
+        self._last_fault_ns: float | None = None
+
         self.host_queue: list[deque[_FlitPacket]] = [deque() for _ in range(self.num_hosts)]
         self._next_arrival = np.zeros(self.num_hosts)
         self._arrivals: PoissonGaps | None = None  # built on first use (needs rate > 0)
@@ -227,6 +279,14 @@ class FlitLevelSimulator:
         for h in due.tolist():
             while self._next_arrival[h] <= t_ns:
                 created = float(self._next_arrival[h])
+                if created >= self._measure_end:
+                    # Sources switch off when the measurement window
+                    # closes: the drain phase flushes the backlog only.
+                    # With deadlock-free routing the in-flight population
+                    # is then finite, so full delivery is guaranteed for
+                    # a long enough drain (see tests/test_fuzz_sim.py).
+                    self._next_arrival[h] = math.inf
+                    break
                 dst = self.pattern.destination(h, self.rng)
                 measured = self._measure_start <= created < self._measure_end
                 pkt = _FlitPacket(
@@ -290,6 +350,13 @@ class FlitLevelSimulator:
                 continue
             pkt = u.packet
             at_switch = self._unit_switch[uid]
+            if pkt.repoch != self._reroute_epoch:
+                # A fault rebuilt the tables since this packet's routing
+                # state was derived: re-resolve from the current switch
+                # (for source-routed adapters this recomputes the whole
+                # remaining path on the survivor graph).
+                pkt.rstate = self.adapter.initial_state(at_switch, pkt.dst_switch)
+                pkt.repoch = self._reroute_epoch
             if at_switch == pkt.dst_switch:
                 u.out_unit = -(pkt.dst_host + 1)
                 u.state = _ACTIVE
@@ -381,15 +448,152 @@ class FlitLevelSimulator:
         if self._measure_start <= t_ns < self._measure_end:
             self._result.delivered_in_window_bits += pkt.size * self.cfg.flit_bits
             self._result.delivered_in_window_count += 1
+            if (
+                self._last_fault_ns is not None
+                and self._faults_left == 0  # only past the *final* event
+                and t_ns >= self._last_fault_ns
+            ):
+                self._result.post_fault_bits += pkt.size * self.cfg.flit_bits
         if pkt.measured:
             self._result.delivered_measured += 1
             self._result.latencies_ns.append(t_ns - pkt.created_ns)
             self._result.hop_counts.append(pkt.hops)
+        if self._recovering:
+            self._note_done(pkt.pid, t_ns)
+
+    def _note_done(self, pid: int, t_ns: float) -> None:
+        """A tracked packet left the network (delivered or dropped);
+        close any fault event whose in-flight set it empties."""
+        for record, pids in self._recovering:
+            pids.discard(pid)
+            if not pids and record.recovery_ns != record.recovery_ns:
+                record.recovery_ns = t_ns - record.time_ns
+        self._recovering = [(r, p) for r, p in self._recovering if p]
 
     def _return_credits(self, now: int) -> None:
         due = self._credit_due.pop(now, None)
         if due:
             np.add.at(self.credits, due, 1)
+
+    # ------------------------------------------------------------------
+    # dynamic fault injection
+    # ------------------------------------------------------------------
+    def _clear_unit(self, uid: int) -> int:
+        """Discard a unit's buffered flits and free it; returns the
+        number of flits discarded. Freed slots are credited back to the
+        unit immediately (the upstream sender decremented them when it
+        sent) -- injection units backpressure via queue length instead,
+        so their credits are untouched."""
+        u = self.units[uid]
+        dropped = len(u.queue)
+        if dropped and uid >= self._inj_units:
+            self.credits[uid] += dropped
+        u.queue.clear()
+        u.state = _IDLE
+        u.packet = None
+        u.out_unit = _NO_OUT
+        u.inject_left = 0
+        u.next_flit = 0
+        self._busy.discard(uid)
+        return dropped
+
+    def _apply_fault(self, faults, now: int) -> None:
+        """Kill the links of one fault event at cycle ``now``.
+
+        Semantics (see docs/resilience.md):
+
+        * every packet with a flit buffered in -- or already forwarded
+          through the head of -- a dead channel is dropped whole: its
+          flits everywhere in the network are discarded and counted;
+        * a packet that merely *reserved* a dead channel (no flit
+          crossed yet) is not dropped: the reservation is cancelled and
+          the packet re-routes at its current switch;
+        * the routing adapter is rebuilt on the survivor graph, and the
+          reroute epoch bump makes every in-flight packet re-derive its
+          routing state from its current switch at its next decision.
+        """
+        self._faults_left -= 1
+        dead_pairs = faults.dead_link_set(self.live_topo)
+        v = self._v
+        dead_units: set[int] = set()
+        for a, b in dead_pairs:
+            for ch in ((a, b), (b, a)):
+                base = self._chan_base[ch]
+                dead_units.update(range(base, base + v))
+
+        # Packets with at least one flit on a dead channel die whole;
+        # pure reservations (idle unit, empty queue) are cancelled.
+        dropped_pkts: set = set()
+        for tid in dead_units:
+            tu = self.units[tid]
+            if tu.packet is not None and (tu.queue or tu.state != _IDLE):
+                dropped_pkts.add(tu.packet)
+
+        flits_dropped = 0
+        for uid, u in enumerate(self.units):
+            pkt = u.packet
+            if pkt is None:
+                if uid in dead_units:
+                    flits_dropped += self._clear_unit(uid)
+                continue
+            if pkt in dropped_pkts:
+                if uid < self._inj_units and u.inject_left > 0:
+                    # The tail never left the source; drop it from the
+                    # host queue too (partial packets are useless).
+                    h = uid // v
+                    queue = self.host_queue[h]
+                    if queue and queue[0] is pkt:
+                        queue.popleft()
+                        if not queue:
+                            self._pending_hosts.discard(h)
+                flits_dropped += self._clear_unit(uid)
+            elif uid in dead_units:
+                # Reserved by a surviving packet but unused: just free it.
+                flits_dropped += self._clear_unit(uid)
+            elif u.out_unit is not None and u.out_unit >= 0 and u.out_unit in dead_units:
+                # Allocation into a dead channel with no flit across it
+                # yet: cancel and re-route at this switch (undoing the
+                # hop counted when the reservation was made).
+                u.out_unit = _NO_OUT
+                u.state = _WAIT_VC
+                pkt.hops -= 1
+
+        t_ns = self._time_ns(now)
+        for pkt in dropped_pkts:
+            self._result.packets_dropped += 1
+            if pkt.measured:
+                self._result.dropped_measured += 1
+            if self._recovering:
+                self._note_done(pkt.pid, t_ns)
+        self._result.flits_dropped += flits_dropped
+
+        # Rebuild routing on the survivor graph. The survivor is a new
+        # Topology with a new fingerprint, so repro.cache derives fresh
+        # CSR next-hop / up*/down* tables instead of serving the intact
+        # network's.
+        self.live_topo = faults.apply(self.live_topo)
+        t0 = time.perf_counter()
+        self.adapter = self.adapter_factory(self.live_topo)
+        reroute_wall = time.perf_counter() - t0
+        self._reroute_epoch += 1
+
+        survivors = {
+            u.packet.pid for u in self.units if u.packet is not None
+        }
+        record = FaultRecord(
+            time_ns=t_ns,
+            links_failed=len(dead_pairs),
+            packets_dropped=len(dropped_pkts),
+            flits_dropped=flits_dropped,
+            in_flight_at_fault=len(survivors),
+            reroute_wall_s=reroute_wall,
+        )
+        if survivors:
+            self._recovering.append((record, survivors))
+        else:
+            record.recovery_ns = 0.0
+        self._result.fault_records.append(record)
+        self._last_fault_ns = t_ns
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -399,7 +603,10 @@ class FlitLevelSimulator:
         for h in range(self.num_hosts):
             self._next_arrival[h] = gaps.next(h)
 
+        faults_pending = deque(sorted(self._fault_queue, key=lambda f: f[0]))
         for cycle in range(horizon):
+            while faults_pending and faults_pending[0][0] <= cycle:
+                self._apply_fault(faults_pending.popleft()[1], cycle)
             self._return_credits(cycle)
             self._generate_traffic(cycle)
             if self._pending_hosts:
@@ -410,8 +617,13 @@ class FlitLevelSimulator:
                 self._switch_allocation(busy_sorted, cycle)
             if (
                 cycle % 512 == 0
+                and not faults_pending
                 and self._time_ns(cycle) > self._measure_end
-                and self._result.delivered_measured >= self._result.generated_measured
+                and self._result.delivered_measured + self._result.dropped_measured
+                >= self._result.generated_measured
             ):
                 break
+        if self._last_fault_ns is not None:
+            window = self._measure_end - max(self._last_fault_ns, self._measure_start)
+            self._result.post_fault_window_ns = max(0.0, window)
         return self._result

@@ -12,7 +12,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimResult"]
+__all__ = ["FaultRecord", "SimResult"]
+
+
+@dataclass
+class FaultRecord:
+    """What one fault event did to a running simulation."""
+
+    time_ns: float
+    links_failed: int
+    packets_dropped: int
+    flits_dropped: int
+    in_flight_at_fault: int
+    #: ns until every packet in flight at the fault instant was
+    #: delivered over the rebuilt tables (nan: run ended first).
+    recovery_ns: float = float("nan")
+    #: wall-clock seconds spent rebuilding the routing tables.
+    reroute_wall_s: float = 0.0
 
 
 @dataclass
@@ -31,6 +47,20 @@ class SimResult:
     delivered_in_window_count: int = 0
     latencies_ns: list[float] = field(default_factory=list)
     hop_counts: list[int] = field(default_factory=list)
+    #: fault-injection accounting (flit engine with a fault schedule):
+    #: packets discarded because a flit sat on a failing link, the
+    #: flits discarded with them, and how many of the dropped packets
+    #: were in the measurement window.
+    packets_dropped: int = 0
+    flits_dropped: int = 0
+    dropped_measured: int = 0
+    #: one :class:`FaultRecord` per applied fault event.
+    fault_records: list = field(default_factory=list)
+    #: delivered bits and window length after the last fault event
+    #: (inside the measurement window); basis of
+    #: :attr:`post_fault_accepted_gbps`.
+    post_fault_bits: float = 0.0
+    post_fault_window_ns: float = 0.0
     #: per directed channel (u, v): busy ns inside the measurement
     #: window; populated when the simulator runs with
     #: ``collect_channel_stats=True``.
@@ -56,6 +86,23 @@ class SimResult:
     @property
     def avg_hops(self) -> float:
         return float(np.mean(self.hop_counts)) if self.hop_counts else float("nan")
+
+    @property
+    def post_fault_accepted_gbps(self) -> float:
+        """Delivered Gbit/s per host between the last fault event and
+        the end of the measurement window (nan when no fault fell
+        inside the window); compare against :attr:`accepted_gbps` for
+        the throughput retained after degradation."""
+        if self.post_fault_window_ns <= 0:
+            return float("nan")
+        return self.post_fault_bits / (self.post_fault_window_ns * self.num_hosts)
+
+    @property
+    def dropped_fraction(self) -> float:
+        """Measured packets lost to link failures (0.0 without faults)."""
+        if self.generated_measured == 0:
+            return 0.0
+        return self.dropped_measured / self.generated_measured
 
     @property
     def delivered_fraction(self) -> float:

@@ -18,7 +18,9 @@ contended output ports and are retried in FIFO order when a VC frees.
 Hosts inject independently (Poisson arrivals at the offered load) into
 per-host infinite source queues; measured latency includes source-queue
 time, so it diverges at saturation exactly as the paper's Fig. 10
-curves do.
+curves do. Sources stop when the measurement window closes, so the
+drain phase flushes a finite backlog and (with deadlock-free routing)
+always terminates.
 """
 
 from __future__ import annotations
@@ -115,6 +117,15 @@ class NetworkSimulator:
 
     def _arrive(self, host: int) -> None:
         now = self.eq.now
+        if now >= self._measure_end:
+            # Sources switch off when the measurement window closes: the
+            # drain phase flushes the backlog only. With deadlock-free
+            # routing the in-flight population is then finite, so every
+            # generated packet is delivered for a long enough drain --
+            # keeping sources on at beyond-saturation loads instead grows
+            # the waiter convoys faster than they serve and old packets
+            # starve for an effectively unbounded time.
+            return
         dst = self.pattern.destination(host, self.rng)
         pkt = Packet(
             pid=self._next_pid,

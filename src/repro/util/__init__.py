@@ -13,7 +13,7 @@ from repro.util.intmath import (
     ring_distance,
     clockwise_distance,
 )
-from repro.util.rng import make_rng, sample_distinct_pairs
+from repro.util.rng import make_rng, sample_distinct_pairs, sample_indices
 from repro.util.tables import format_table
 from repro.util.validation import check_index, check_positive, check_range
 
@@ -27,6 +27,7 @@ __all__ = [
     "clockwise_distance",
     "make_rng",
     "sample_distinct_pairs",
+    "sample_indices",
     "format_table",
     "check_index",
     "check_positive",

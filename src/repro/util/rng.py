@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "sample_distinct_pairs"]
+__all__ = ["make_rng", "sample_indices", "sample_distinct_pairs"]
 
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -22,6 +22,32 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def sample_indices(total: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` distinct indices from ``range(total)``, uniform without
+    replacement, as a sorted int64 array.
+
+    For small index spaces this is exactly ``rng.choice(total, k,
+    replace=False)``; for spaces too large for choice()'s internal
+    permutation it draws with replacement in batches and dedups, the
+    same technique as :func:`sample_distinct_pairs`. ``k`` is capped at
+    ``total``; ``k <= 0`` returns an empty array. The shared fault
+    models and the robustness experiments both sample through here, so
+    a fault set is a pure function of ``(total, k, rng state)``.
+    """
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    k = min(int(k), int(total))
+    if total <= (1 << 20):
+        idx = rng.choice(total, size=k, replace=False)
+    else:
+        seen = np.empty(0, dtype=np.int64)
+        while seen.size < k:
+            draw = rng.integers(0, total, size=2 * (k - seen.size) + 16)
+            seen = np.unique(np.concatenate([seen, draw]))
+        idx = rng.permutation(seen)[:k]
+    return np.sort(idx.astype(np.int64))
 
 
 def sample_distinct_pairs(

@@ -62,3 +62,9 @@ class TestExamples:
     def test_analytic_model(self):
         out = run_example("analytic_model.py")
         assert "predicted saturation" in out
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py")
+        assert "Timed link failures" in out
+        assert "recovery_ns" in out
+        assert "rebuilds minimal-adaptive" in out
