@@ -32,10 +32,12 @@ byte budget and memoizes the (tiny) result.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.topologies.base import Topology
 from repro.util.parallel import parallel_map
 
@@ -188,6 +190,7 @@ def _block_hop_partial(args: tuple) -> tuple[int, np.ndarray, np.ndarray, int]:
     themselves)``.
     """
     pad, n, start, stop = args
+    t0 = time.perf_counter()
     b = stop - start
     w = (b + 63) // 64
     one = np.uint64(1)
@@ -223,6 +226,9 @@ def _block_hop_partial(args: tuple) -> tuple[int, np.ndarray, np.ndarray, int]:
         ecc[has_new] = level
         frontier[:n] = new
     reached = _popcount_sum(visited)
+    telemetry.count("bfs.blocks")
+    telemetry.count("bfs.pairs_reached", reached)
+    telemetry.observe("bfs.block_s", time.perf_counter() - t0)
     return total, np.asarray(counts, dtype=np.int64), ecc, reached
 
 
@@ -244,7 +250,13 @@ def streaming_hop_stats(
     pad = padded_neighbors(topo)
     rows = default_block_rows(n) if block_rows is None else max(1, min(n, int(block_rows)))
     blocks = [(pad, n, s, min(s + rows, n)) for s in range(0, n, rows)]
-    parts = parallel_map(_block_hop_partial, blocks, workers=workers)
+    t0 = time.perf_counter()
+    with telemetry.span("analysis.streaming_hop_stats"):
+        parts = parallel_map(_block_hop_partial, blocks, workers=workers)
+    wall = time.perf_counter() - t0
+    if wall > 0:
+        # Block throughput: (source, node) pairs settled per second.
+        telemetry.gauge_set("bfs.pairs_per_s", sum(p[3] for p in parts) / wall)
 
     if sum(p[3] for p in parts) != n * n:
         raise ValueError(_DISCONNECTED_MSG)

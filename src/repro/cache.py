@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.topologies.base import Topology
 
 __all__ = [
@@ -211,6 +212,7 @@ def _memory_get(key: tuple):
         if entry is not None:
             _memory.move_to_end(key)
             _stats.memory_hits += 1
+            telemetry.count("cache.memory.hits")
             return entry[0]
     return None
 
@@ -241,6 +243,9 @@ def _memory_put(key: tuple, value) -> None:
             _, (_, evicted_bytes) = _memory.popitem(last=False)
             _memory_bytes -= evicted_bytes
             _stats.evictions += 1
+            telemetry.count("cache.evictions")
+        telemetry.gauge_set("cache.memory_bytes", float(_memory_bytes))
+        telemetry.gauge_set("cache.memory_entries", float(len(_memory)))
 
 
 def _disk_load(stem: str) -> dict | None:
@@ -274,6 +279,7 @@ def _disk_store(stem: str, arrays: dict) -> None:
             raise
         with _lock:
             _stats.disk_stores += 1
+        telemetry.count("cache.disk.stores")
     except OSError:  # read-only/full disk: caching stays best-effort
         pass
 
@@ -297,10 +303,12 @@ def _get(
             value = unpack(raw)
             with _lock:
                 _stats.disk_hits += 1
+            telemetry.count("cache.disk.hits")
             _memory_put(key, value)
             return value
     with _lock:
         _stats.misses += 1
+    telemetry.count("cache.misses")
     value = compute()
     _memory_put(key, value)
     if stem is not None and pack is not None:
@@ -502,6 +510,7 @@ def memo_topology(recipe: tuple, builder: Callable[[], Topology]) -> Topology:
     if topo is None:
         with _lock:
             _stats.misses += 1
+        telemetry.count("cache.misses")
         topo = builder()
         _memory_put(key, topo)
     return topo

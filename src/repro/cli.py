@@ -17,6 +17,7 @@ regenerated without writing code:
   placement    cabinet-placement optimization gains (refs [7], [11])
   claims       machine-checked scorecard of every quantitative claim
   bench        benchmark smoke: timed sweep + cache/engine regression gate
+  telemetry    run any subcommand with telemetry on, then export/summarize
 = =========== =====================================================
 """
 
@@ -127,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("claims", help="run the paper-claims scorecard (E29)")
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="run any subcommand with telemetry enabled, then export/summarize",
+        description="Wrapper: enables the telemetry subsystem (REPRO_TELEMETRY=1), "
+                    "dispatches the wrapped subcommand, then exports the recorded "
+                    "metrics. With no wrapped command it just prints the summary "
+                    "of whatever the current process recorded (usually empty).",
+    )
+    tel.add_argument("--jsonl", default=None, metavar="PATH",
+                     help="write the JSONL export here")
+    tel.add_argument("--prom", default=None, metavar="PATH",
+                     help="write the Prometheus text exposition here")
+    tel.add_argument("--summary", action="store_true",
+                     help="print the summary table (default when no export given)")
+    tel.add_argument("--interval-ns", type=float, default=None, dest="interval_ns",
+                     help="in-sim sampling interval (REPRO_TELEMETRY_INTERVAL_NS)")
+    tel.add_argument("inner", nargs=argparse.REMAINDER, metavar="command ...",
+                     help="the subcommand (plus its arguments) to run instrumented")
 
     dia = sub.add_parser("diagram", help="draw a DSN's structure or a route")
     dia.add_argument("n", type=int)
@@ -317,6 +337,38 @@ def _cmd_bench(args) -> None:
         sys.exit(1)
 
 
+def _cmd_telemetry(args) -> None:
+    import os
+
+    from repro import telemetry
+    from repro.telemetry import export
+
+    if args.interval_ns is not None:
+        os.environ["REPRO_TELEMETRY_INTERVAL_NS"] = str(args.interval_ns)
+    # Set the env var too (not just the API) so spawn-mode pool workers
+    # and any subprocesses the wrapped command launches inherit it.
+    os.environ["REPRO_TELEMETRY"] = "1"
+    telemetry.enable()
+    inner = list(args.inner)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if inner:
+        if inner[0] == "telemetry":
+            print("telemetry: cannot wrap itself", file=sys.stderr)
+            sys.exit(2)
+        _dispatch(inner)
+    if args.jsonl:
+        n = export.write_jsonl(args.jsonl)
+        print(f"\nwrote {args.jsonl} ({n} telemetry records)")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(export.prometheus_text())
+        print(f"\nwrote {args.prom}")
+    if args.summary or not (args.jsonl or args.prom):
+        print()
+        print(export.summary_table())
+
+
 def _cmd_diagram(args) -> None:
     from repro.core import DSNTopology, dsn_route
     from repro.viz import dsn_ring_diagram, route_diagram
@@ -359,6 +411,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "diagram": _cmd_diagram,
         "claims": _cmd_claims,
         "bench": _cmd_bench,
+        "telemetry": _cmd_telemetry,
     }
     handlers[args.command](args)
 

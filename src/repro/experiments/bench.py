@@ -11,9 +11,13 @@ and a tiny degradation point must flow through the streaming metrics
 path -- (e) gates the large-n metrics engine -- the blocked streaming
 BFS must be bit-identical to the dense matrix on every trio kind up to
 n=2048, and an out-of-process run at n=65536 (8192 in quick mode) must
-finish with peak RSS far below any n x n matrix -- and (f) optionally
-runs the tier-1 pytest suite. The timings land in a ``BENCH_*.json``
-evidence file (see :mod:`repro.util.profiling`).
+finish with peak RSS far below any n x n matrix -- (f) gates the
+telemetry subsystem -- with ``REPRO_TELEMETRY`` unset the hooks must be
+invisible (bit-identical simulation results and disabled-path timing
+inside a 2% band), while the enabled-mode overhead is measured and
+reported -- and (g) optionally runs the tier-1 pytest suite. The
+timings land in a ``BENCH_*.json`` evidence file (see
+:mod:`repro.util.profiling`).
 
 Exit is non-zero when an identity check, the cross-validation, the
 fault smoke, the large-n gate, or the tier-1 suite fails -- this is
@@ -37,6 +41,9 @@ FULL_SIZES = (32, 64, 128, 256, 512, 1024)
 
 #: Engines must agree on zero-load latency within this relative error.
 CROSSVAL_RTOL = 0.05
+
+#: Disabled-telemetry timing band (interleaved min-of-N ratio).
+TELEMETRY_OVERHEAD_RTOL = 0.02
 
 #: (kind, n) cases of the streaming-vs-dense identity gate. Odd sizes
 #: exercise partial uint64 words and ragged source blocks.
@@ -150,6 +157,83 @@ def _fault_degradation_smoke(workers=None):
     return ok, pt
 
 
+def _telemetry_workload():
+    """One fixed flit-level run, the telemetry gate's unit of work."""
+    from repro.core import DSNTopology
+    from repro.routing import DuatoAdaptiveRouting
+    from repro.sim import AdaptiveEscapeAdapter, FlitLevelSimulator, SimConfig
+    from repro.traffic import make_pattern
+
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+    topo = DSNTopology(16)
+    adapter = AdaptiveEscapeAdapter(
+        DuatoAdaptiveRouting(topo), cfg.num_vcs, np.random.default_rng(0)
+    )
+    pattern = make_pattern("uniform", topo.n * cfg.hosts_per_switch)
+    return FlitLevelSimulator(topo, adapter, pattern, 2.0, cfg).run()
+
+
+def _telemetry_overhead(reps: int = 3) -> dict:
+    """Telemetry cost gate.
+
+    The contract is "with ``REPRO_TELEMETRY`` unset, results are
+    bit-identical and throughput is within 2% of a build without the
+    hooks". A hook-free build is not available at run time, so the
+    gate measures the two observable halves: (a) SimResult fields are
+    bit-identical telemetry on vs off, and (b) two interleaved
+    min-of-N series of *disabled* runs agree within the 2% band --
+    which catches a disabled path that accidentally does real work
+    (sampling, allocation) while absorbing scheduler noise via the
+    min. Enabled-mode overhead is measured and reported, not gated:
+    sampling is allowed to cost what it costs.
+    """
+    import time
+
+    from repro import telemetry
+
+    was_enabled = telemetry.enabled()
+    telemetry.disable()
+    try:
+        def run_once():
+            t0 = time.perf_counter()
+            res = _telemetry_workload()
+            return time.perf_counter() - t0, res
+
+        # Warm the caches/JIT-ish costs out of the measurement.
+        _, res_off = run_once()
+        series_a, series_b, series_on = [], [], []
+        for _ in range(reps):
+            series_a.append(run_once()[0])
+            series_b.append(run_once()[0])
+            telemetry.enable()
+            dt, res_on = run_once()
+            telemetry.disable()
+            series_on.append(dt)
+        disabled_ratio = min(series_b) / min(series_a)
+        enabled_ratio = min(series_on) / min(min(series_a), min(series_b))
+        identical = (
+            res_off.latencies_ns == res_on.latencies_ns
+            and res_off.hop_counts == res_on.hop_counts
+            and res_off.delivered_measured == res_on.delivered_measured
+            and res_off.delivered_in_window_bits == res_on.delivered_in_window_bits
+            and not res_off.telemetry
+            and bool(res_on.telemetry)
+        )
+        return {
+            "reps": reps,
+            "disabled_ratio": round(disabled_ratio, 4),
+            "enabled_ratio": round(enabled_ratio, 4),
+            "disabled_min_s": round(min(min(series_a), min(series_b)), 4),
+            "enabled_min_s": round(min(series_on), 4),
+            "results_identical": identical,
+        }
+    finally:
+        if was_enabled:
+            telemetry.enable()
+        else:
+            telemetry.disable()
+
+
 def _streaming_identity(cases) -> bool:
     """Blocked streaming BFS must reproduce the dense matrix exactly.
 
@@ -256,6 +340,14 @@ def run_bench(
         # --- large-n metrics engine gate ------------------------------
         with timer.stage("streaming_identity"):
             checks["streaming_identity"] = _streaming_identity(identity_cases)
+
+        # --- telemetry overhead gate ----------------------------------
+        with timer.stage("telemetry_overhead"):
+            tel_info = _telemetry_overhead()
+        checks["telemetry_disabled_within_2pct"] = (
+            tel_info["disabled_ratio"] <= 1.0 + TELEMETRY_OVERHEAD_RTOL
+        )
+        checks["telemetry_results_identical"] = tel_info["results_identical"]
         if large_n:
             with timer.stage(f"large_n_streaming_{large_n}"):
                 large_n_stats, mem_ok = _large_n_gate(large_n)
@@ -314,6 +406,7 @@ def run_bench(
                 "mean_aspl": fault_pt.mean_aspl,
                 "throughput_retention": fault_pt.throughput_retention,
             },
+            "telemetry_overhead": tel_info,
             "large_n": large_n_stats,
             "large_n_rss_cap_mb": LARGE_N_RSS_MB if large_n else None,
             "checks": checks,
@@ -324,6 +417,11 @@ def run_bench(
     print(timer.summary())
     print(f"\nwarm-vs-cold sweep speedup: {speedup:.2f}x")
     print(f"engine cross-validation rel error: {rel:.2%} (tolerance {CROSSVAL_RTOL:.0%})")
+    print(
+        f"telemetry: disabled ratio {tel_info['disabled_ratio']:.3f} "
+        f"(band {1 + TELEMETRY_OVERHEAD_RTOL:.2f}), enabled overhead "
+        f"{(tel_info['enabled_ratio'] - 1):+.1%} (reported, not gated)"
+    )
     if large_n_stats is not None:
         print(
             f"large-n gate: n={large_n_stats['n']} diameter={large_n_stats['diameter']} "

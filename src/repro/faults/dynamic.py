@@ -20,10 +20,12 @@ tables for a degraded graph are impossible by construction (tested in
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.faults.schedule import FaultSchedule
 from repro.topologies.base import Topology
 
@@ -129,14 +131,20 @@ def run_with_faults(
     if isinstance(pattern, str):
         pattern = make_pattern(pattern, topo.n * cfg.hosts_per_switch)
     factory = factory or adaptive_escape_factory(cfg)
-    sim = FlitLevelSimulator(
-        topo,
-        factory(topo),
-        pattern,
-        offered_gbps,
-        config=cfg,
-        buffer_flits=buffer_flits,
-        fault_schedule=schedule,
-        adapter_factory=factory,
-    )
-    return sim.run()
+    with telemetry.span("faults.run_with_faults"):
+        sim = FlitLevelSimulator(
+            topo,
+            factory(topo),
+            pattern,
+            offered_gbps,
+            config=cfg,
+            buffer_flits=buffer_flits,
+            fault_schedule=schedule,
+            adapter_factory=factory,
+        )
+        result = sim.run()
+    for rec in result.fault_records:
+        if math.isfinite(rec.recovery_ns):
+            telemetry.observe("faults.recovery_ns", rec.recovery_ns, edges=(
+                1e2, 1e3, 1e4, 1e5, 1e6, 1e7))
+    return result

@@ -16,8 +16,11 @@ when the same topology is analyzed or simulated more than once.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.metrics import shortest_path_matrix
 from repro.topologies.base import Topology
 from repro.util import make_rng
@@ -74,7 +77,15 @@ class ShortestPathTable:
     # ------------------------------------------------------------------
     def _ensure_next_hops(self) -> None:
         if self._nh_indptr is None:
+            t0 = time.perf_counter()
             self._nh_indptr, self._nh_indices = build_next_hop_csr(self.topo, self.dist)
+            telemetry.observe("routing.next_hop_build_s", time.perf_counter() - t0)
+            telemetry.count("routing.next_hop_builds")
+            telemetry.gauge_set(
+                "routing.next_hop_csr_bytes",
+                float(self._nh_indptr.nbytes + self._nh_indices.nbytes),
+            )
+            telemetry.gauge_set("routing.next_hop_entries", float(len(self._nh_indices)))
 
     def next_hop_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """The raw ``(indptr, indices)`` CSR next-hop table."""

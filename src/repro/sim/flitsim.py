@@ -56,10 +56,12 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.adapters import RoutingAdapter
 from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
 from repro.sim.metrics import FaultRecord, SimResult
+from repro.telemetry.samplers import SimSampler
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
 from repro.util import make_rng
@@ -139,6 +141,15 @@ class FlitLevelSimulator:
     (see :mod:`repro.faults.dynamic` for the standard factories). Only
     link faults are supported dynamically -- a schedule with dead
     switches is rejected, since hosts would vanish mid-run.
+
+    ``tracer`` (a :class:`~repro.sim.trace.TraceRecorder`) receives
+    packet inject/hop/deliver events through the same hook surface
+    :class:`~repro.sim.network.NetworkSimulator` uses. When telemetry
+    is enabled (``REPRO_TELEMETRY=1``) the engine also attaches a
+    :class:`~repro.telemetry.samplers.SimSampler` that snapshots
+    per-link flit utilization, per-VC queue occupancy and accepted-vs-
+    offered load every ``REPRO_TELEMETRY_INTERVAL_NS`` of simulated
+    time; the digest lands in ``SimResult.telemetry``.
     """
 
     def __init__(
@@ -151,6 +162,7 @@ class FlitLevelSimulator:
         buffer_flits: int | None = None,
         fault_schedule=None,
         adapter_factory: Callable[[Topology], RoutingAdapter] | None = None,
+        tracer=None,
     ):
         self.topo = topo
         self.live_topo = topo  #: survivor graph after applied faults
@@ -237,6 +249,30 @@ class FlitLevelSimulator:
         self._next_arrival = np.zeros(self.num_hosts)
         self._arrivals: PoissonGaps | None = None  # built on first use (needs rate > 0)
         self._next_pid = 0
+
+        # Telemetry: a per-packet-event tracer (same hook surface as
+        # NetworkSimulator's) and, when telemetry is enabled, a periodic
+        # sampler fed from cumulative per-channel flit counts. With
+        # telemetry off both stay None and the only per-cycle cost is
+        # one ``is not None`` check in :meth:`run`.
+        self._tracer = tracer
+        self._sampler: SimSampler | None = None
+        self._chan_flits: np.ndarray | None = None
+        self._delivered_bits_total = 0.0
+        self._sample_cycles = 0
+        self._next_sample_cycle = 0
+        if telemetry.enabled():
+            self._sampler = SimSampler(
+                channels,
+                num_hosts=self.num_hosts,
+                flit_time_ns=self.cfg.flit_time_ns,
+                engine="flit",
+            )
+            self._chan_flits = np.zeros(len(channels), dtype=np.int64)
+            self._sample_cycles = max(
+                1, math.ceil(self._sampler.interval_ns / self.cfg.flit_time_ns)
+            )
+            self._next_sample_cycle = self._sample_cycles
 
         self._measure_start = self.cfg.warmup_ns
         self._measure_end = self.cfg.warmup_ns + self.cfg.measure_ns
@@ -329,6 +365,10 @@ class FlitLevelSimulator:
                 u.next_flit = 0
                 pkt.rstate = self.adapter.initial_state(self.switch_of(h), pkt.dst_switch)
                 self._busy.add(uid)
+                if self._tracer is not None:
+                    self._tracer.on_inject(
+                        self._time_ns(now), pkt.pid, self.switch_of(h), pkt.dst_switch
+                    )
             if u.inject_left > 0 and len(u.queue) < self.buffer_flits:
                 u.queue.append((now, u.next_flit))
                 u.next_flit += 1
@@ -375,6 +415,10 @@ class FlitLevelSimulator:
                         u.state = _ACTIVE
                         pkt.rstate = opt.new_rstate
                         pkt.hops += 1
+                        if self._tracer is not None:
+                            self._tracer.on_hop(
+                                self._time_ns(now), pkt.pid, at_switch, opt.next_node, vc
+                            )
                         break
                 else:
                     continue
@@ -428,6 +472,8 @@ class FlitLevelSimulator:
                 self._deliver(pkt, now + self.link_cycles)
         else:
             self.credits[out] -= 1
+            if self._chan_flits is not None:
+                self._chan_flits[(out - self._inj_units) // self._v] += 1
             tu = self.units[out]
             tu.queue.append((now + self.link_cycles, flit_idx))
             self._busy.add(out)
@@ -445,6 +491,10 @@ class FlitLevelSimulator:
 
     def _deliver(self, pkt: _FlitPacket, cycle: int) -> None:
         t_ns = self._time_ns(cycle)
+        if self._tracer is not None:
+            self._tracer.on_deliver(t_ns, pkt.pid, pkt.dst_host)
+        if self._sampler is not None:
+            self._delivered_bits_total += pkt.size * self.cfg.flit_bits
         if self._measure_start <= t_ns < self._measure_end:
             self._result.delivered_in_window_bits += pkt.size * self.cfg.flit_bits
             self._result.delivered_in_window_count += 1
@@ -594,6 +644,12 @@ class FlitLevelSimulator:
             record.recovery_ns = 0.0
         self._result.fault_records.append(record)
         self._last_fault_ns = t_ns
+        if self._sampler is not None:
+            self._sampler.on_fault(t_ns, len(dead_pairs))
+        telemetry.count("faults.events")
+        telemetry.count("faults.packets_dropped", len(dropped_pkts))
+        telemetry.count("faults.flits_dropped", flits_dropped)
+        telemetry.observe("faults.reroute_s", reroute_wall)
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -615,6 +671,9 @@ class FlitLevelSimulator:
             if busy_sorted:
                 self._route_and_allocate(busy_sorted, cycle)
                 self._switch_allocation(busy_sorted, cycle)
+            if self._sampler is not None and cycle >= self._next_sample_cycle:
+                self._take_sample(cycle)
+                self._next_sample_cycle += self._sample_cycles
             if (
                 cycle % 512 == 0
                 and not faults_pending
@@ -626,4 +685,24 @@ class FlitLevelSimulator:
         if self._last_fault_ns is not None:
             window = self._measure_end - max(self._last_fault_ns, self._measure_start)
             self._result.post_fault_window_ns = max(0.0, window)
+        if self._sampler is not None:
+            self._result.telemetry = self._sampler.finalize("sim.flit")
+            self._result.telemetry["samples"] = self._sampler.records()
         return self._result
+
+    def _take_sample(self, cycle: int) -> None:
+        """Feed the sampler one snapshot (observation only: no sim state
+        or RNG stream is touched, so results match a telemetry-off run
+        bit for bit)."""
+        occ = (
+            (self.buffer_flits - self.credits[self._inj_units :])
+            .reshape(-1, self._v)
+            .sum(axis=1)
+        )
+        self._sampler.sample(
+            self._time_ns(cycle),
+            chan_flits=self._chan_flits,
+            occupancy=occ,
+            delivered_bits=self._delivered_bits_total,
+            offered_bits=self._next_pid * self.cfg.packet_bits,
+        )

@@ -65,6 +65,11 @@ class SimResult:
     #: window; populated when the simulator runs with
     #: ``collect_channel_stats=True``.
     channel_busy_ns: dict = field(default_factory=dict)
+    #: compact telemetry digest (sampler summary + per-interval
+    #: ``samples`` records); populated only when telemetry is enabled
+    #: (``REPRO_TELEMETRY=1``), empty otherwise. Pure observation: the
+    #: other fields are bit-identical with telemetry on or off.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def accepted_gbps(self) -> float:

@@ -29,6 +29,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.adapters import RoutingAdapter
 from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig
@@ -36,6 +37,7 @@ from repro.sim.engine import EventQueue
 from repro.sim.metrics import SimResult
 from repro.sim.packet import Packet
 from repro.sim.ports import OutPort
+from repro.telemetry.samplers import SimSampler
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
 from repro.util import make_rng
@@ -99,6 +101,19 @@ class NetworkSimulator:
             self._result.channel_busy_ns = {
                 (u, v): 0.0 for (u, v) in self._sw_port
             }
+
+        # Telemetry sampler (observation only; scheduled on the event
+        # queue, where its callbacks mutate no simulation state, so
+        # results with telemetry on and off are bit-identical).
+        self._sampler: SimSampler | None = None
+        self._chan_busy = None
+        self._chan_idx: dict[tuple[int, int], int] = {}
+        self._delivered_bits_total = 0.0
+        if telemetry.enabled():
+            chans = sorted(self._sw_port)
+            self._sampler = SimSampler(chans, num_hosts=self.num_hosts, engine="event")
+            self._chan_idx = {ch: i for i, ch in enumerate(chans)}
+            self._chan_busy = np.zeros(len(chans))
 
     # ------------------------------------------------------------------
     # host mapping
@@ -206,6 +221,10 @@ class NetworkSimulator:
                 hi = min(start + ser, self._measure_end)
                 if hi > lo:
                     self._result.channel_busy_ns[(pkt.at_switch, opt.next_node)] += hi - lo
+            if self._chan_busy is not None:
+                # Unclipped cumulative busy time: the sampler differences
+                # it into per-interval utilization.
+                self._chan_busy[self._chan_idx[(pkt.at_switch, opt.next_node)]] += ser
             self.eq.schedule(start + ser, self._release_hold, pkt, pkt.hold)
             if self._tracer is not None:
                 self._tracer.on_hop(start, pkt.pid, pkt.at_switch, opt.next_node, vc)
@@ -273,6 +292,8 @@ class NetworkSimulator:
         pkt.time_delivered = now
         if self._tracer is not None:
             self._tracer.on_deliver(now, pkt.pid, pkt.dst_host)
+        if self._sampler is not None:
+            self._delivered_bits_total += pkt.size_flits * self.cfg.flit_bits
         if self._measure_start <= now < self._measure_end:
             self._result.delivered_in_window_bits += pkt.size_flits * self.cfg.flit_bits
             self._result.delivered_in_window_count += 1
@@ -282,8 +303,35 @@ class NetworkSimulator:
             self._result.hop_counts.append(pkt.hops)
 
     # ------------------------------------------------------------------
+    # telemetry sampling (event-queue driven; pure observation)
+    # ------------------------------------------------------------------
+    def _sample_tick(self) -> None:
+        t = self.eq.now
+        sampler = self._sampler
+        occ = np.fromiter(
+            (
+                sum(vc is not None for vc in self._sw_port[ch].vcs)
+                for ch in sampler.channels
+            ),
+            dtype=np.float64,
+            count=len(sampler.channels),
+        )
+        sampler.sample(
+            t,
+            chan_busy_ns=self._chan_busy,
+            occupancy=occ,
+            delivered_bits=self._delivered_bits_total,
+            offered_bits=self._next_pid * self.cfg.packet_bits,
+        )
+        nxt = t + sampler.interval_ns
+        if nxt <= self._measure_end + self.cfg.drain_ns:
+            self.eq.schedule(nxt, self._sample_tick)
+
+    # ------------------------------------------------------------------
     def run(self) -> SimResult:
         """Run warmup + measurement (+ drain) and return the result."""
+        if self._sampler is not None:
+            self.eq.schedule(self._sampler.interval_ns, self._sample_tick)
         for host in range(self.num_hosts):
             self._schedule_next_arrival(host)
         horizon = self._measure_end + self.cfg.drain_ns
@@ -296,4 +344,7 @@ class NetworkSimulator:
                 break
             t = min(t + step, horizon)
             self.eq.run(until=t)
+        if self._sampler is not None:
+            self._result.telemetry = self._sampler.finalize("sim.event")
+            self._result.telemetry["samples"] = self._sampler.records()
         return self._result

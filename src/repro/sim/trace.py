@@ -1,10 +1,18 @@
 """Simulation tracing: per-packet event records for debugging/analysis.
 
 Pass a :class:`TraceRecorder` to :class:`~repro.sim.network.
-NetworkSimulator` and every packet lifecycle event (inject, hop,
-deliver) is recorded with its timestamp. Useful for debugging routing
-or blocking behaviour, for latency breakdowns, and in tests that need
-to assert on *when* things happened rather than aggregates.
+NetworkSimulator` or :class:`~repro.sim.flitsim.FlitLevelSimulator`
+(both engines expose the same ``tracer=`` hook surface) and every
+packet lifecycle event (inject, hop, deliver) is recorded with its
+timestamp. Useful for debugging routing or blocking behaviour, for
+latency breakdowns, and in tests that need to assert on *when* things
+happened rather than aggregates.
+
+Events also flow through the telemetry event path: with telemetry
+enabled, per-kind ``trace.events.*`` counters accumulate in the
+registry, and events discarded by the ``max_events`` guard are counted
+in ``trace.dropped_events`` -- so a truncated trace is visible in any
+telemetry export, not just via the ``truncated`` flag.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro import telemetry
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
@@ -55,8 +65,10 @@ class TraceRecorder:
     def _add(self, ev: TraceEvent) -> None:
         if len(self.events) >= self.max_events:
             self.truncated = True
+            telemetry.count("trace.dropped_events")
             return
         self.events.append(ev)
+        telemetry.count("trace.events." + ev.kind)
 
     # -- queries --------------------------------------------------------
     def packet_events(self, pid: int) -> list[TraceEvent]:

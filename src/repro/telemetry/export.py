@@ -1,0 +1,187 @@
+"""Telemetry exporters: JSONL, Prometheus text, and compact summaries.
+
+Three consumers, three shapes:
+
+* :func:`write_jsonl` -- one JSON object per line (counters, gauges,
+  histograms, spans, then any per-interval sampler records), the
+  dashboard-ingestion format;
+* :func:`prometheus_text` -- the Prometheus text exposition format
+  (metric names are ``repro_`` + the dotted name with dots mapped to
+  underscores; histograms expand to ``_bucket``/``_sum``/``_count``);
+* :func:`run_summary` -- a compact plain dict for embedding in
+  ``SimResult.telemetry`` mirrors and ``BENCH_*.json`` evidence files,
+  and :func:`summary_table` -- its human-readable table for
+  ``python -m repro telemetry --summary``.
+
+All exporters read a :class:`~repro.telemetry.registry.
+TelemetryRegistry` snapshot; none mutate it, so exporting twice is
+idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry import spans as _spans
+from repro.telemetry.registry import TelemetryRegistry, get_registry
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "run_summary",
+    "summary_table",
+]
+
+
+def _metric_name(dotted: str) -> str:
+    out = []
+    for ch in dotted:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    name = "".join(out)
+    return "repro_" + name
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(
+    path: str | Path,
+    registry: TelemetryRegistry | None = None,
+    extra_records: list[dict] | None = None,
+) -> int:
+    """Write the registry (and optional sampler records) as ndjson.
+
+    Returns the number of lines written. Record types: ``counter``,
+    ``gauge``, ``histogram``, ``span``, plus whatever dicts are passed
+    in ``extra_records`` (sampler intervals carry ``t_ns`` and are
+    tagged ``sample`` if untyped).
+    """
+    reg = get_registry() if registry is None else registry
+    lines = 0
+    with open(path, "w") as fh:
+        for c in reg.counters.values():
+            fh.write(json.dumps({"type": "counter", "name": c.name, "value": c.value}))
+            fh.write("\n")
+            lines += 1
+        for g in reg.gauges.values():
+            fh.write(json.dumps(
+                {"type": "gauge", "name": g.name, "value": g.value, "tag": g.tag}
+            ))
+            fh.write("\n")
+            lines += 1
+        for h in reg.histograms.values():
+            fh.write(json.dumps({
+                "type": "histogram", "name": h.name, "edges": list(h.edges),
+                "counts": list(h.counts), "sum": h.sum, "count": h.count,
+            }))
+            fh.write("\n")
+            lines += 1
+        for spath, seconds, count in _spans.span_rows():
+            fh.write(json.dumps({
+                "type": "span", "name": spath, "seconds": seconds, "count": count,
+            }))
+            fh.write("\n")
+            lines += 1
+        for rec in extra_records or ():
+            if "type" not in rec:
+                rec = {"type": "sample", **rec}
+            fh.write(json.dumps(rec))
+            fh.write("\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a :func:`write_jsonl` file back into records."""
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def prometheus_text(registry: TelemetryRegistry | None = None) -> str:
+    """The registry in the Prometheus text format (version 0.0.4)."""
+    reg = get_registry() if registry is None else registry
+    out: list[str] = []
+    for c in sorted(reg.counters.values(), key=lambda m: m.name):
+        name = _metric_name(c.name)
+        out.append(f"# TYPE {name} counter")
+        out.append(f"{name} {c.value}")
+    for g in sorted(reg.gauges.values(), key=lambda m: m.name):
+        name = _metric_name(g.name)
+        out.append(f"# TYPE {name} gauge")
+        label = f'{{worker="{g.tag}"}}' if g.tag else ""
+        out.append(f"{name}{label} {g.value}")
+    for h in sorted(reg.histograms.values(), key=lambda m: m.name):
+        name = _metric_name(h.name)
+        out.append(f"# TYPE {name} histogram")
+        cum = 0
+        for edge, cnt in zip(h.edges, h.counts):
+            cum += cnt
+            out.append(f'{name}_bucket{{le="{edge}"}} {cum}')
+        cum += h.counts[-1]
+        out.append(f'{name}_bucket{{le="+Inf"}} {cum}')
+        out.append(f"{name}_sum {h.sum}")
+        out.append(f"{name}_count {h.count}")
+    for spath, seconds, count in _spans.span_rows():
+        name = _metric_name("span." + spath.replace("/", "."))
+        out.append(f'{name}_seconds_total {seconds}')
+        out.append(f'{name}_calls_total {count}')
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# compact summaries
+# ----------------------------------------------------------------------
+def run_summary(registry: TelemetryRegistry | None = None) -> dict:
+    """Compact digest of the registry, for embedding in result docs."""
+    reg = get_registry() if registry is None else registry
+    return {
+        "counters": {c.name: c.value for c in reg.counters.values()},
+        "gauges": {g.name: g.value for g in reg.gauges.values()},
+        "histograms": {
+            h.name: {"count": h.count, "sum": round(h.sum, 6),
+                     "mean": round(h.mean, 6) if h.count else None}
+            for h in reg.histograms.values()
+        },
+        "spans": {
+            spath: {"seconds": round(seconds, 6), "count": count}
+            for spath, seconds, count in _spans.span_rows()
+        },
+    }
+
+
+def summary_table(registry: TelemetryRegistry | None = None) -> str:
+    """Human-readable summary (the ``--summary`` CLI view)."""
+    from repro.util import format_table
+
+    reg = get_registry() if registry is None else registry
+    blocks: list[str] = []
+    if reg.counters:
+        rows = [[c.name, c.value] for c in sorted(reg.counters.values(), key=lambda m: m.name)]
+        blocks.append(format_table(["counter", "value"], rows, title="Counters"))
+    if reg.gauges:
+        rows = [
+            [g.name, round(g.value, 6), g.tag or ""]
+            for g in sorted(reg.gauges.values(), key=lambda m: m.name)
+        ]
+        blocks.append(format_table(["gauge", "value", "tag"], rows, title="Gauges"))
+    if reg.histograms:
+        rows = [
+            [h.name, h.count, round(h.sum, 6), round(h.mean, 6) if h.count else ""]
+            for h in sorted(reg.histograms.values(), key=lambda m: m.name)
+        ]
+        blocks.append(format_table(
+            ["histogram", "count", "sum", "mean"], rows, title="Histograms"
+        ))
+    span_rows = _spans.span_rows()
+    if span_rows:
+        rows = [[p, round(s, 6), c] for p, s, c in span_rows]
+        blocks.append(format_table(["span", "seconds", "calls"], rows, title="Spans"))
+    if not blocks:
+        return "(no telemetry recorded -- set REPRO_TELEMETRY=1 or use "\
+               "`python -m repro telemetry <command>`)"
+    return "\n\n".join(blocks)

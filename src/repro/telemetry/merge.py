@@ -1,0 +1,136 @@
+"""Cross-process telemetry: snapshot, delta, and merge.
+
+``repro.util.parallel.parallel_map`` fans work out to worker
+processes; each worker's telemetry would otherwise die with the
+process. The contract here:
+
+* the worker wraps every task with :func:`begin_task` /
+  :func:`end_task`, shipping back a picklable **delta** snapshot (what
+  the task itself recorded -- robust against fork-inherited parent
+  counts and against multiple tasks sharing one worker process);
+* the parent calls :func:`merge_snapshot` per returned delta.
+
+Merge semantics (the issue's contract, pinned by
+``tests/test_telemetry.py``): counters **sum**, histograms **add**
+bucket-wise (fixed edges make this exact), gauges are
+**last-write-wins** and keep the reporting worker's tag. Spans are
+process-local by design and do not cross the boundary.
+
+Because counter/histogram merging is commutative and associative, the
+merged totals are invariant across ``REPRO_WORKERS`` -- a serial run
+and any pool width agree exactly (given per-item deterministic
+instrumentation).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.registry import TelemetryRegistry, get_registry
+
+__all__ = ["snapshot", "delta", "merge_snapshot", "begin_task", "end_task"]
+
+_task_baseline: dict | None = None
+
+
+def snapshot(registry: TelemetryRegistry | None = None) -> dict:
+    """Picklable copy of the registry's counters/gauges/histograms."""
+    reg = get_registry() if registry is None else registry
+    return {
+        "worker": os.getpid(),
+        "counters": {c.name: c.value for c in reg.counters.values()},
+        "gauges": {g.name: (g.value, g.tag) for g in reg.gauges.values()},
+        "histograms": {
+            h.name: {
+                "edges": h.edges,
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for h in reg.histograms.values()
+        },
+    }
+
+
+def delta(current: dict, baseline: dict) -> dict:
+    """What ``current`` recorded beyond ``baseline`` (counters and
+    histogram contents subtract; gauges keep their current value)."""
+    base_c = baseline["counters"]
+    base_h = baseline["histograms"]
+    counters = {}
+    for name, value in current["counters"].items():
+        d = value - base_c.get(name, 0)
+        if d:
+            counters[name] = d
+    histograms = {}
+    for name, h in current["histograms"].items():
+        b = base_h.get(name)
+        if b is None:
+            histograms[name] = h
+            continue
+        counts = [c - bc for c, bc in zip(h["counts"], b["counts"])]
+        if any(counts):
+            histograms[name] = {
+                "edges": h["edges"],
+                "counts": counts,
+                "sum": h["sum"] - b["sum"],
+                "count": h["count"] - b["count"],
+            }
+    return {
+        "worker": current["worker"],
+        "counters": counters,
+        "gauges": dict(current["gauges"]),
+        "histograms": histograms,
+    }
+
+
+def merge_snapshot(
+    snap: dict | None,
+    registry: TelemetryRegistry | None = None,
+    worker: str | None = None,
+) -> None:
+    """Fold one snapshot/delta into ``registry``.
+
+    Counters sum; histograms add bucket-wise (edges must match -- a
+    mismatch raises, since silently re-bucketing would corrupt the
+    distribution); gauges last-write-wins, tagged with ``worker`` (or
+    the snapshot's origin pid).
+    """
+    if not snap:
+        return
+    reg = get_registry() if registry is None else registry
+    tag = worker if worker is not None else f"pid{snap.get('worker', '?')}"
+    for name, value in snap["counters"].items():
+        reg.counter(name).inc(value)
+    for name, (value, gtag) in snap["gauges"].items():
+        reg.gauge(name).set(value, gtag or tag)
+    for name, h in snap["histograms"].items():
+        hist = reg.histogram(name, tuple(h["edges"]))
+        if hist.edges != tuple(h["edges"]):
+            raise ValueError(
+                f"histogram {name!r}: bucket edges differ between processes"
+            )
+        for i, c in enumerate(h["counts"]):
+            hist.counts[i] += c
+        hist.sum += h["sum"]
+        hist.count += h["count"]
+
+
+# ----------------------------------------------------------------------
+# worker-side task bracketing
+# ----------------------------------------------------------------------
+def begin_task() -> None:
+    """Mark the telemetry baseline before running one mapped task."""
+    global _task_baseline
+    _task_baseline = snapshot()
+
+
+def end_task() -> dict:
+    """Delta recorded since :func:`begin_task` (ships to the parent)."""
+    global _task_baseline
+    base = _task_baseline
+    _task_baseline = None
+    cur = snapshot()
+    if base is None:
+        return cur
+    return delta(cur, base)

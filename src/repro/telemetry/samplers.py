@@ -1,0 +1,210 @@
+"""Periodic in-simulation sampling: link utilization, queue occupancy.
+
+Deng et al. (arXiv:1904.00513) make the case that interconnect
+behaviour is diagnosed from *per-link* utilization and queue-occupancy
+time series, not end-to-end aggregates; this module provides the
+sampler both simulation engines attach when telemetry is enabled.
+
+A :class:`SimSampler` is strictly an observer. The engines hand it
+cumulative per-channel activity (flit counts for the cycle-driven
+engine, busy-ns for the event-driven one) plus instantaneous buffer
+occupancy at each sampling instant; the sampler differences
+consecutive snapshots into per-interval records. It never touches
+simulator state or RNG streams, which is what keeps results with
+telemetry on and off bit-identical (the determinism contract pinned by
+``tests/test_telemetry.py``).
+
+The sampling period is ``REPRO_TELEMETRY_INTERVAL_NS`` (default 500 ns
+of simulated time). Fault events (PR 3's :class:`~repro.sim.metrics.
+FaultRecord` timestamps) are recorded as epoch markers so the exported
+series can be split into pre/post-fault regimes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.telemetry import registry as _registry
+
+__all__ = ["SimSampler", "default_interval_ns", "DEFAULT_INTERVAL_NS"]
+
+#: Default simulated-time sampling period.
+DEFAULT_INTERVAL_NS = 500.0
+
+
+def default_interval_ns() -> float:
+    """Sampling period from ``REPRO_TELEMETRY_INTERVAL_NS`` (ns)."""
+    raw = os.environ.get("REPRO_TELEMETRY_INTERVAL_NS", "").strip()
+    try:
+        value = float(raw) if raw else DEFAULT_INTERVAL_NS
+    except ValueError:
+        value = DEFAULT_INTERVAL_NS
+    return value if value > 0 else DEFAULT_INTERVAL_NS
+
+
+class SimSampler:
+    """Collects periodic per-link/per-queue snapshots of one sim run.
+
+    Parameters
+    ----------
+    channels:
+        Directed switch-to-switch channels ``(u, v)`` in the engine's
+        canonical order; all per-channel arrays use this indexing.
+    num_hosts:
+        Host count, for per-host Gbit/s normalization.
+    flit_time_ns:
+        Serialization time of one flit; converts cumulative flit counts
+        to busy time for the cycle-driven engine.
+    interval_ns:
+        Sampling period in simulated ns (default
+        :func:`default_interval_ns`).
+    engine:
+        Label stored in the summary (``"flit"`` / ``"event"``).
+    """
+
+    def __init__(
+        self,
+        channels,
+        num_hosts: int,
+        flit_time_ns: float = 1.0,
+        interval_ns: float | None = None,
+        engine: str = "sim",
+    ):
+        self.channels = [tuple(ch) for ch in channels]
+        self.num_hosts = num_hosts
+        self.flit_time_ns = flit_time_ns
+        self.interval_ns = interval_ns if interval_ns else default_interval_ns()
+        self.engine = engine
+        self.samples: list[dict] = []
+        self.fault_marks: list[dict] = []
+        c = len(self.channels)
+        self._last_t = 0.0
+        self._last_busy = np.zeros(c)
+        self._last_delivered_bits = 0.0
+        self._last_offered_bits = 0.0
+        self._total_busy = np.zeros(c)  # cumulative busy-ns per channel
+        self._occ_max = 0.0
+        self._occ_mean_sum = 0.0
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        t_ns: float,
+        *,
+        chan_flits: np.ndarray | None = None,
+        chan_busy_ns: np.ndarray | None = None,
+        occupancy: np.ndarray | None = None,
+        delivered_bits: float = 0.0,
+        offered_bits: float = 0.0,
+    ) -> None:
+        """Record one sampling instant.
+
+        ``chan_flits`` (cumulative flits sent per channel) or
+        ``chan_busy_ns`` (cumulative busy-ns per channel) supplies the
+        utilization source; ``occupancy`` is the instantaneous buffered
+        amount per channel (flits, or reserved VCs); ``delivered_bits``
+        and ``offered_bits`` are cumulative since the run started.
+        """
+        dt = t_ns - self._last_t
+        if dt <= 0:
+            return
+        if chan_busy_ns is None:
+            chan_busy_ns = (
+                np.asarray(chan_flits, dtype=np.float64) * self.flit_time_ns
+                if chan_flits is not None
+                else np.zeros(len(self.channels))
+            )
+        busy = np.asarray(chan_busy_ns, dtype=np.float64)
+        util = (busy - self._last_busy) / dt
+        occ = (
+            np.asarray(occupancy, dtype=np.float64)
+            if occupancy is not None
+            else np.zeros(len(self.channels))
+        )
+        accepted = (delivered_bits - self._last_delivered_bits) / (dt * self.num_hosts)
+        offered = (offered_bits - self._last_offered_bits) / (dt * self.num_hosts)
+        rec = {
+            "t_ns": float(t_ns),
+            "link_util": np.round(util, 5).tolist(),
+            "queue_occ": np.round(occ, 3).tolist(),
+            "util_mean": float(util.mean()) if util.size else 0.0,
+            "util_max": float(util.max()) if util.size else 0.0,
+            "occ_mean": float(occ.mean()) if occ.size else 0.0,
+            "occ_max": float(occ.max()) if occ.size else 0.0,
+            "accepted_gbps": float(accepted),
+            "offered_gbps": float(offered),
+        }
+        self.samples.append(rec)
+        self._total_busy = busy.copy()
+        self._last_busy = busy.copy()
+        self._last_t = t_ns
+        self._last_delivered_bits = delivered_bits
+        self._last_offered_bits = offered_bits
+        self._occ_max = max(self._occ_max, rec["occ_max"])
+        self._occ_mean_sum += rec["occ_mean"]
+
+    def on_fault(self, time_ns: float, links_failed: int) -> None:
+        """Mark a fault epoch so the series can be split around it."""
+        self.fault_marks.append(
+            {"t_ns": float(time_ns), "links_failed": int(links_failed)}
+        )
+
+    # ------------------------------------------------------------------
+    def hot_links(self, k: int = 5) -> list[tuple[int, int, float]]:
+        """Top-``k`` channels by whole-run mean utilization."""
+        if not self.samples:
+            return []
+        span_ns = self.samples[-1]["t_ns"]
+        if span_ns <= 0:
+            return []
+        mean_util = self._total_busy / span_ns
+        order = np.argsort(mean_util)[::-1][:k]
+        return [
+            (self.channels[i][0], self.channels[i][1], float(mean_util[i]))
+            for i in order
+        ]
+
+    def summary(self) -> dict:
+        """Compact run-level digest (merged into ``SimResult.telemetry``)."""
+        n = len(self.samples)
+        span_ns = self.samples[-1]["t_ns"] if n else 0.0
+        mean_util = (
+            float((self._total_busy / span_ns).mean()) if n and span_ns > 0 else 0.0
+        )
+        max_util = max((s["util_max"] for s in self.samples), default=0.0)
+        return {
+            "engine": self.engine,
+            "interval_ns": self.interval_ns,
+            "num_samples": n,
+            "num_channels": len(self.channels),
+            "link_util": {
+                "mean": mean_util,
+                "max": max_util,
+                "hot": [[u, v, round(x, 5)] for u, v, x in self.hot_links()],
+            },
+            "queue_occupancy": {
+                "mean": self._occ_mean_sum / n if n else 0.0,
+                "max": self._occ_max,
+            },
+            "accepted_gbps_last": self.samples[-1]["accepted_gbps"] if n else 0.0,
+            "offered_gbps_last": self.samples[-1]["offered_gbps"] if n else 0.0,
+            "faults": list(self.fault_marks),
+        }
+
+    def finalize(self, prefix: str) -> dict:
+        """Publish the run digest as registry gauges and return it."""
+        s = self.summary()
+        _registry.gauge_set(f"{prefix}.samples", s["num_samples"])
+        _registry.gauge_set(f"{prefix}.link_util_mean", s["link_util"]["mean"])
+        _registry.gauge_set(f"{prefix}.link_util_max", s["link_util"]["max"])
+        _registry.gauge_set(f"{prefix}.queue_occ_mean", s["queue_occupancy"]["mean"])
+        _registry.gauge_set(f"{prefix}.queue_occ_max", s["queue_occupancy"]["max"])
+        _registry.gauge_set(f"{prefix}.accepted_gbps", s["accepted_gbps_last"])
+        _registry.count(f"{prefix}.fault_marks", len(self.fault_marks))
+        return s
+
+    def records(self) -> list[dict]:
+        """Per-interval records (JSON-ready), for the JSONL exporter."""
+        return list(self.samples)

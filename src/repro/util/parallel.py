@@ -10,6 +10,13 @@ for full-scale sweeps on many-core machines.
 Worker functions must be picklable (module-level functions with
 picklable arguments) -- the drivers in :mod:`repro.experiments` are
 written that way.
+
+With telemetry enabled (``REPRO_TELEMETRY=1`` or
+:func:`repro.telemetry.enable`), worker-process telemetry rides home
+with each result: tasks are bracketed with delta snapshots
+(:mod:`repro.telemetry.merge`) and folded into the parent registry, so
+counters/histograms are invariant across ``REPRO_WORKERS``. With
+telemetry disabled the map path is byte-for-byte the old one.
 """
 
 from __future__ import annotations
@@ -19,10 +26,33 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import telemetry
+from repro.telemetry import merge as _tmerge
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = ["parallel_map", "default_workers"]
+
+
+class _TelemetryTask:
+    """Picklable wrapper shipping a task's telemetry delta to the parent.
+
+    Only constructed when the parent has telemetry on. The child may be
+    forked (inherits enabled state and parent counts) or spawned
+    (inherits neither): :func:`repro.telemetry.enable` covers spawn, and
+    the begin/end delta bracket makes fork-inherited counts and chunked
+    multi-task workers report each task's own contribution exactly once.
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item):
+        telemetry.enable()
+        _tmerge.begin_task()
+        result = self.fn(item)
+        return result, _tmerge.end_task()
 
 
 def default_workers() -> int:
@@ -62,5 +92,12 @@ def parallel_map(
         return [fn(x) for x in items_list]
     workers = min(workers, len(items_list))
     chunksize = max(1, math.ceil(len(items_list) / (workers * 4)))
+    if telemetry.enabled():
+        task = _TelemetryTask(fn)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(task, items_list, chunksize=chunksize))
+        for _, snap in pairs:
+            _tmerge.merge_snapshot(snap)
+        return [r for r, _ in pairs]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items_list, chunksize=chunksize))

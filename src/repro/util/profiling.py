@@ -23,6 +23,8 @@ import sys
 import time
 from contextlib import contextmanager
 
+from repro.telemetry.spans import Span
+
 __all__ = ["StageTimer"]
 
 
@@ -31,6 +33,12 @@ class StageTimer:
 
     Re-entering a stage name accumulates (useful for per-item loops);
     ``counts`` tracks how many intervals each total spans.
+
+    Timing is delegated to :class:`repro.telemetry.spans.Span` under a
+    ``bench.<name>`` span, so with telemetry enabled bench stages appear
+    in the span trace tree and every exporter; with telemetry disabled
+    the span is a bare ``perf_counter`` pair and the public surface
+    (``seconds``/``counts``/``as_dict``/``write``) is unchanged.
     """
 
     def __init__(self):
@@ -41,11 +49,13 @@ class StageTimer:
     @contextmanager
     def stage(self, name: str):
         """Time one ``with`` block under ``name``."""
-        t0 = time.perf_counter()
+        sp = Span("bench." + name)
+        sp.__enter__()
         try:
             yield self
         finally:
-            self.record(name, time.perf_counter() - t0)
+            sp.__exit__(None, None, None)
+            self.record(name, sp.seconds)
 
     def record(self, name: str, seconds: float) -> None:
         if name not in self.seconds:

@@ -68,3 +68,26 @@ class TestExamples:
         assert "Timed link failures" in out
         assert "recovery_ns" in out
         assert "rebuilds minimal-adaptive" in out
+
+    def test_telemetry_dashboard(self, tmp_path):
+        # Runs in a scratch cwd (the example writes its export files
+        # there), so a relative PYTHONPATH must be made absolute.
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(EXAMPLES.parent / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "telemetry_dashboard.py"), "32"],
+            capture_output=True,
+            text=True,
+            timeout=240,
+            cwd=tmp_path,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "Hottest links" in proc.stdout
+        assert "<- fault" in proc.stdout
+        assert (tmp_path / "TELEMETRY_dashboard.jsonl").stat().st_size > 0
+        assert (tmp_path / "TELEMETRY_dashboard.prom").stat().st_size > 0
