@@ -9,6 +9,7 @@ regenerated without writing code:
   fig8         average shortest path length vs network size
   fig9         average cable length vs network size (floorplan model)
   fig10        latency vs accepted traffic (network simulation)
+  sweep        resumable fig10 sweep through the persistent run store
   theory       validate the Fact 1-3 / Theorem 1-2 bounds
   balance      custom routing vs up*/down* channel loads (E13)
   related      related-work diameter-and-degree + DLN-x + greedy tables
@@ -76,6 +77,40 @@ def build_parser() -> argparse.ArgumentParser:
     f10.add_argument("--seed", type=int, default=1)
     f10.add_argument("--workers", type=_workers, default=None,
                      help="process-pool size (or 'auto'); default REPRO_WORKERS")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="resumable latency sweep through the persistent run store",
+        description="Run (or resume) a Fig. 10-style sweep: kinds x patterns x "
+                    "loads, every point routed through repro.store. With "
+                    "--resume (or --store-dir) results persist on disk, so a "
+                    "killed or repeated sweep only simulates what is missing.",
+    )
+    sw.add_argument("--patterns", type=lambda s: tuple(s.split(",")),
+                    default=("uniform",),
+                    help="comma-separated traffic patterns (default uniform)")
+    sw.add_argument("--kinds", type=lambda s: tuple(s.split(",")), default=None,
+                    help="topology kinds (default the paper trio)")
+    sw.add_argument("--loads", type=lambda s: tuple(float(x) for x in s.split(",")),
+                    default=None, help="offered loads Gbit/s/host (default the "
+                                       "paper's 1,2,4,6,8,10,12)")
+    sw.add_argument("--n", type=int, default=64)
+    sw.add_argument("--seed", type=int, default=1)
+    sw.add_argument("--full", action="store_true", help="paper-scale windows")
+    sw.add_argument("--workers", type=_workers, default=None,
+                    help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    sw.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                    help="persist results under DIR (sets REPRO_STORE_DIR)")
+    sw.add_argument("--resume", action="store_true",
+                    help="shorthand for --store-dir .repro-store: reuse every "
+                         "previously stored point and persist new ones")
+    sw.add_argument("--no-store", action="store_true", dest="no_store",
+                    help="bypass the run store entirely (REPRO_STORE=off)")
+    sw.add_argument("--store-stats", action="store_true", dest="store_stats",
+                    help="print hit/miss/bytes counters after the sweep "
+                         "(this process only; pool workers count their own)")
+    sw.add_argument("--out", default=None, metavar="PATH",
+                    help="write the full curves as a JSON artifact")
 
     bench = sub.add_parser("bench", help="benchmark smoke: timed sweep + regression checks")
     bench.add_argument("--quick", action="store_true",
@@ -212,6 +247,64 @@ def _cmd_fig10(args) -> None:
             x_label="offered Gbit/s/host",
             y_label="avg latency ns",
         ))
+
+
+def _cmd_sweep(args) -> None:
+    import json
+    import os
+
+    from repro import store
+    from repro.experiments import fig10, format_curves
+    from repro.experiments.latency import DEFAULT_LOADS
+    from repro.experiments.sweeps import PAPER_TRIO
+    from repro.sim import SimConfig
+
+    if args.no_store:
+        os.environ["REPRO_STORE"] = "off"
+    elif args.store_dir or args.resume:
+        # Env (not an API call) so spawn-mode pool workers inherit it.
+        os.environ["REPRO_STORE_DIR"] = args.store_dir or ".repro-store"
+        os.environ.pop("REPRO_STORE", None)
+
+    config = SimConfig() if args.full else SimConfig(
+        warmup_ns=4000, measure_ns=12000, drain_ns=24000
+    )
+    kinds = args.kinds or PAPER_TRIO
+    loads = args.loads or DEFAULT_LOADS
+    store.reset_store_stats()
+    artifact_curves = []
+    for pattern in args.patterns:
+        curves = fig10(pattern, loads=loads, n=args.n, config=config,
+                       seed=args.seed, kinds=kinds, workers=args.workers)
+        print(format_curves(curves, f"sweep ({pattern})"))
+        print()
+        for c in curves:
+            artifact_curves.append({
+                "pattern": pattern,
+                "topology": c.topology,
+                "points": [store.encode_result(p) for p in c.points],
+            })
+    if args.out:
+        payload = {
+            "experiment": "sweep",
+            "n": args.n,
+            "seed": args.seed,
+            "full": bool(args.full),
+            "kinds": list(kinds),
+            "patterns": list(args.patterns),
+            "loads": list(loads),
+            "curves": artifact_curves,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.store_stats:
+        s = store.store_stats()
+        print(f"store: {s.hits} hits ({s.memory_hits} memory, {s.disk_hits} disk), "
+              f"{s.misses} misses, {s.stores} stores, "
+              f"{s.inflight_dedup} deduped in flight, "
+              f"{s.bytes_written}B written, {s.bytes_read}B read")
 
 
 def _cmd_theory(args) -> None:
@@ -401,6 +494,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "fig8": lambda a: _cmd_hop_sweep(a, "fig8"),
         "fig9": _cmd_fig9,
         "fig10": _cmd_fig10,
+        "sweep": _cmd_sweep,
         "theory": _cmd_theory,
         "balance": _cmd_balance,
         "related": _cmd_related,

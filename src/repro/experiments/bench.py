@@ -15,7 +15,11 @@ finish with peak RSS far below any n x n matrix -- (f) gates the
 telemetry subsystem -- with ``REPRO_TELEMETRY`` unset the hooks must be
 invisible (bit-identical simulation results and disabled-path timing
 inside a 2% band), while the enabled-mode overhead is measured and
-reported -- and (g) optionally runs the tier-1 pytest suite. The
+reported -- (g) gates the persistent run store -- a warm re-run of a
+whole Fig. 10 subplot must be served from ``REPRO_STORE_DIR`` at least
+10x faster with bit-identical curves, and the ``REPRO_STORE=off`` path
+must time inside the same 2% band -- and (h) optionally runs the
+tier-1 pytest suite. The
 timings land in a ``BENCH_*.json`` evidence file (see
 :mod:`repro.util.profiling`).
 
@@ -44,6 +48,18 @@ CROSSVAL_RTOL = 0.05
 
 #: Disabled-telemetry timing band (interleaved min-of-N ratio).
 TELEMETRY_OVERHEAD_RTOL = 0.02
+
+#: Disabled-store timing band (same interleaved min-of-N method).
+STORE_OVERHEAD_RTOL = 0.02
+
+#: A warm (fully stored) Fig. 10 subplot must be at least this much
+#: faster than the cold run, with at least this hit rate.
+STORE_WARM_SPEEDUP = 10.0
+STORE_WARM_HIT_RATE = 0.95
+
+#: Loads of the store warm-sweep gate (the paper's Fig. 10 x-axis).
+STORE_SWEEP_LOADS_FULL = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
+STORE_SWEEP_LOADS_QUICK = (1.0, 2.0, 4.0)
 
 #: (kind, n) cases of the streaming-vs-dense identity gate. Odd sizes
 #: exercise partial uint64 words and ragged source blocks.
@@ -234,6 +250,123 @@ def _telemetry_overhead(reps: int = 3) -> dict:
             telemetry.disable()
 
 
+def _store_warm_sweep(loads) -> dict:
+    """Run-store gate: a warm re-run of a whole Fig. 10 subplot must be
+    served from the store -- bit-identical curves, >= ``STORE_WARM_HIT_RATE``
+    hits, and at least ``STORE_WARM_SPEEDUP``x faster than the cold run.
+
+    Cold runs with ``REPRO_STORE=off`` (the no-store baseline), the
+    populate pass fills a throwaway ``REPRO_STORE_DIR``, and the warm
+    pass starts from a cleared memory tier so every hit is a real disk
+    round-trip. Serial on purpose: the stats counters are per-process.
+    The caller saves/restores the store env vars.
+    """
+    import json
+    import shutil
+    import time
+
+    from repro import store
+    from repro.experiments.latency import fig10
+    from repro.sim import SimConfig
+
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+
+    def subplot():
+        return fig10("uniform", loads=loads, n=16, config=cfg, seed=1)
+
+    def encode(curves):
+        return json.dumps(
+            [[store.encode_result(p) for p in c.points] for c in curves],
+            sort_keys=True,
+            allow_nan=True,
+        )
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        os.environ["REPRO_STORE"] = "off"
+        t0 = time.perf_counter()
+        cold = subplot()
+        cold_s = time.perf_counter() - t0
+
+        os.environ.pop("REPRO_STORE", None)
+        os.environ["REPRO_STORE_DIR"] = tmp
+        store.clear_store()
+        store.reset_store_stats()
+        t0 = time.perf_counter()
+        subplot()
+        populate_s = time.perf_counter() - t0
+
+        store.clear_store()  # memory tier only: warm hits must hit disk
+        store.reset_store_stats()
+        t0 = time.perf_counter()
+        warm = subplot()
+        warm_s = time.perf_counter() - t0
+        stats = store.store_stats()
+    finally:
+        os.environ.pop("REPRO_STORE_DIR", None)
+        store.clear_store()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "points": sum(len(c.points) for c in cold),
+        "cold_s": round(cold_s, 4),
+        "populate_s": round(populate_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "hit_rate": round(stats.hit_rate, 4),
+        "disk_hits": stats.disk_hits,
+        "misses": stats.misses,
+        "bytes_read": stats.bytes_read,
+        "identical": encode(cold) == encode(warm),
+    }
+
+
+def _store_overhead(reps: int = 3) -> dict:
+    """Store cost gate, mirroring :func:`_telemetry_overhead`.
+
+    With ``REPRO_STORE=off`` every experiment entry point must be a
+    plain pass-through: two interleaved min-of-N series of disabled
+    runs must agree within the 2% band. The miss path (key + encode +
+    memory insert on an enabled, empty store) is measured and reported,
+    not gated -- a miss is allowed to cost what persistence costs.
+    """
+    import time
+
+    from repro import store
+    from repro.experiments.latency import _curve_point
+    from repro.sim import SimConfig
+
+    cfg = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+    args = ("dsn", "uniform", 2.0, 16, cfg, 1, "adaptive")
+
+    def run_once():
+        t0 = time.perf_counter()
+        _curve_point(args)
+        return time.perf_counter() - t0
+
+    os.environ.pop("REPRO_STORE_DIR", None)  # memory tier only: every
+    os.environ["REPRO_STORE"] = "off"        # cleared rep is a true miss
+    run_once()  # warm topology/routing caches out of the measurement
+    series_a, series_b, series_miss = [], [], []
+    for _ in range(reps):
+        series_a.append(run_once())
+        series_b.append(run_once())
+        os.environ.pop("REPRO_STORE", None)
+        store.clear_store()  # force the miss path every rep
+        series_miss.append(run_once())
+        os.environ["REPRO_STORE"] = "off"
+    disabled_ratio = min(series_b) / min(series_a)
+    miss_ratio = min(series_miss) / min(min(series_a), min(series_b))
+    return {
+        "reps": reps,
+        "disabled_ratio": round(disabled_ratio, 4),
+        "miss_ratio": round(miss_ratio, 4),
+        "disabled_min_s": round(min(min(series_a), min(series_b)), 4),
+        "miss_min_s": round(min(series_miss), 4),
+    }
+
+
 def _streaming_identity(cases) -> bool:
     """Blocked streaming BFS must reproduce the dense matrix exactly.
 
@@ -299,7 +432,10 @@ def run_bench(
     timer = StageTimer()
     checks: dict[str, bool] = {}
     large_n_stats = None
-    saved = {k: os.environ.get(k) for k in ("REPRO_CACHE", "REPRO_CACHE_DIR")}
+    saved = {
+        k: os.environ.get(k)
+        for k in ("REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_STORE", "REPRO_STORE_DIR")
+    }
     tmpdir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
         # --- cold: caching off entirely (the seed's behaviour) --------
@@ -348,6 +484,22 @@ def run_bench(
             tel_info["disabled_ratio"] <= 1.0 + TELEMETRY_OVERHEAD_RTOL
         )
         checks["telemetry_results_identical"] = tel_info["results_identical"]
+
+        # --- persistent run-store gates -------------------------------
+        os.environ.pop("REPRO_STORE_DIR", None)
+        sweep_loads = STORE_SWEEP_LOADS_QUICK if quick else STORE_SWEEP_LOADS_FULL
+        with timer.stage("store_warm_sweep"):
+            store_info = _store_warm_sweep(sweep_loads)
+        checks["store_warm_sweep"] = (
+            store_info["identical"]
+            and store_info["speedup"] >= STORE_WARM_SPEEDUP
+            and store_info["hit_rate"] >= STORE_WARM_HIT_RATE
+        )
+        with timer.stage("store_overhead"):
+            store_cost = _store_overhead()
+        checks["store_disabled_within_2pct"] = (
+            store_cost["disabled_ratio"] <= 1.0 + STORE_OVERHEAD_RTOL
+        )
         if large_n:
             with timer.stage(f"large_n_streaming_{large_n}"):
                 large_n_stats, mem_ok = _large_n_gate(large_n)
@@ -407,6 +559,8 @@ def run_bench(
                 "throughput_retention": fault_pt.throughput_retention,
             },
             "telemetry_overhead": tel_info,
+            "store_warm_sweep": store_info,
+            "store_overhead": store_cost,
             "large_n": large_n_stats,
             "large_n_rss_cap_mb": LARGE_N_RSS_MB if large_n else None,
             "checks": checks,
@@ -421,6 +575,13 @@ def run_bench(
         f"telemetry: disabled ratio {tel_info['disabled_ratio']:.3f} "
         f"(band {1 + TELEMETRY_OVERHEAD_RTOL:.2f}), enabled overhead "
         f"{(tel_info['enabled_ratio'] - 1):+.1%} (reported, not gated)"
+    )
+    print(
+        f"run store: warm fig10 subplot {store_info['speedup']:.1f}x faster "
+        f"({store_info['points']} points, hit rate {store_info['hit_rate']:.0%}), "
+        f"disabled ratio {store_cost['disabled_ratio']:.3f} "
+        f"(band {1 + STORE_OVERHEAD_RTOL:.2f}), miss overhead "
+        f"{(store_cost['miss_ratio'] - 1):+.1%} (reported, not gated)"
     )
     if large_n_stats is not None:
         print(

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import store
 from repro.experiments.sweeps import PAPER_TRIO, make_topology
 from repro.routing import DuatoAdaptiveRouting
 from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig, SimResult, dsn_custom_adapter
@@ -108,22 +109,34 @@ def _curve_point(args: tuple) -> SimResult:
     pickle it. Each point draws from its own ``(seed, load)``-keyed RNG,
     so serial and parallel execution produce identical results; the
     topology and routing tables are shared through :mod:`repro.cache`
-    within each process."""
+    within each process, and the whole point result goes through
+    :mod:`repro.store` -- a previously simulated point (this process,
+    an earlier sweep, or another worker via ``REPRO_STORE_DIR``) is
+    served from the store bit-identically instead of re-run."""
     kind, pattern_name, load, n, cfg, seed, routing = args
     topo = _sim_topology(kind, n, seed, routing)
-    rng = np.random.default_rng((seed, int(load * 1000)))
-    num_hosts = n * cfg.hosts_per_switch
-    # Synthetic permutations act on switch addresses (see
-    # repro.traffic.patterns._PermutationTraffic): each host sends to its
-    # same-offset counterpart at the permuted switch.
-    pattern_kwargs = (
-        {"group_size": cfg.hosts_per_switch}
-        if pattern_name in ("bit_reversal", "bit_complement", "transpose")
-        else {}
+
+    def compute() -> SimResult:
+        rng = np.random.default_rng((seed, int(load * 1000)))
+        num_hosts = n * cfg.hosts_per_switch
+        # Synthetic permutations act on switch addresses (see
+        # repro.traffic.patterns._PermutationTraffic): each host sends to
+        # its same-offset counterpart at the permuted switch.
+        pattern_kwargs = (
+            {"group_size": cfg.hosts_per_switch}
+            if pattern_name in ("bit_reversal", "bit_complement", "transpose")
+            else {}
+        )
+        pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
+        sim = NetworkSimulator(topo, _make_adapter(topo, routing, cfg, rng), pattern, load, cfg)
+        return sim.run()
+
+    if not store.store_enabled():
+        return compute()
+    key = store.sim_run_key(
+        topo, routing, pattern_name, load, cfg, seed, engine="network"
     )
-    pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
-    sim = NetworkSimulator(topo, _make_adapter(topo, routing, cfg, rng), pattern, load, cfg)
-    return sim.run()
+    return store.cached_sim(key, compute)
 
 
 def run_curve(
@@ -154,14 +167,16 @@ def run_curve(
     ``custom_routing=True`` is a backward-compatible alias for
     ``routing="custom"``. Loads are independent simulations; set
     ``workers`` (or ``REPRO_WORKERS``) to run them in parallel
-    processes with identical results.
+    processes with identical results. Points flow through
+    :mod:`repro.store`: duplicates in ``loads`` run once, and
+    previously stored points are not re-simulated.
     """
     cfg = config or SimConfig()
     if custom_routing:
         routing = "custom"
     topo = _sim_topology(kind, n, seed, routing)
     curve = LatencyCurve(topology=topo.name, pattern=pattern_name)
-    curve.points = parallel_map(
+    curve.points = store.dedup_map(
         _curve_point,
         [(kind, pattern_name, load, n, cfg, seed, routing) for load in loads],
         workers=workers,
@@ -181,8 +196,10 @@ def fig10(
     """One Fig. 10 subplot: curves for torus, RANDOM and DSN.
 
     All ``kinds x loads`` points fan out through one
-    :func:`parallel_map`, so a worker pool stays busy across the whole
-    subplot instead of draining per curve.
+    :func:`repro.store.dedup_map`, so a worker pool stays busy across
+    the whole subplot instead of draining per curve, identical points
+    run once, and a warm re-run against a populated ``REPRO_STORE_DIR``
+    serves every point from the store.
     """
     cfg = config or SimConfig()
     jobs = [
@@ -190,7 +207,7 @@ def fig10(
         for kind in kinds
         for load in loads
     ]
-    points = parallel_map(_curve_point, jobs, workers=workers)
+    points = store.dedup_map(_curve_point, jobs, workers=workers)
     curves = []
     for i, kind in enumerate(kinds):
         topo = _sim_topology(kind, n, seed, "adaptive")
@@ -222,7 +239,10 @@ def saturation_search(
     Wraps :func:`repro.sim.find_saturation` with a picklable probe, so
     with ``workers`` (or ``REPRO_WORKERS``) the bracketing ladder runs
     as one parallel batch; each probe seeds its RNG from ``(seed,
-    load)``, making serial and parallel searches identical.
+    load)``, making serial and parallel searches identical. Probes are
+    store-backed (:mod:`repro.store`): a repeated search finds its
+    ladder already persisted and skips straight to bisection, and the
+    bisection probes themselves are never simulated twice.
     """
     import functools
 

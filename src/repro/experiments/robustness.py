@@ -8,6 +8,9 @@ at equal degree.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
+from repro import store
 from repro.analysis.bisection import BisectionEstimate, bisection_estimate
 from repro.analysis.faults import FaultTrialStats, fault_sweep
 from repro.experiments.sweeps import paper_trio
@@ -22,11 +25,36 @@ def fault_table(
     trials: int = 15,
     seed: int = 0,
 ) -> tuple[str, list[FaultTrialStats]]:
-    """Link-failure degradation rows for torus / RANDOM / DSN."""
+    """Link-failure degradation rows for torus / RANDOM / DSN.
+
+    Each (topology, fraction) aggregate is a pure function of
+    ``(topology fingerprint, fraction, trials, seed)`` -- every
+    ``fault_sweep`` call seeds its own RNG stream -- so the rows are
+    store-backed point by point (:mod:`repro.store`): a repeated or
+    resumed robustness run recomputes only what is missing.
+    """
+    from repro.cache import topology_fingerprint
+
     stats: list[FaultTrialStats] = []
     for topo in paper_trio(n, seed=seed):
         for f in fractions:
-            stats.append(fault_sweep(topo, f, trials=trials, seed=seed))
+            key = store.run_key(
+                "fault_sweep",
+                {
+                    "topo": topology_fingerprint(topo),
+                    "fraction": float(f),
+                    "trials": int(trials),
+                    "seed": int(seed),
+                },
+            )
+            stats.append(
+                store.get_or_run(
+                    key,
+                    lambda topo=topo, f=f: fault_sweep(topo, f, trials=trials, seed=seed),
+                    encode=asdict,
+                    decode=lambda doc: FaultTrialStats(**doc),
+                )
+            )
     table = format_table(
         ["topology", "fail_frac", "P(connected)", "diameter", "aspl"],
         [s.row() for s in stats],

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import store
 from repro.analysis.blocked import streaming_hop_stats
 from repro.faults.models import sample_link_faults
 from repro.util import format_table
@@ -105,22 +106,43 @@ def _trial(args: tuple) -> tuple[bool, float, float, float]:
     ``args`` is ``(kind, n, topo_seed, fraction, trial_entropy)``;
     returns ``(connected, diameter, aspl, links_kept_fraction)``. The
     topology is rebuilt in the worker (memoized per process) so only
-    scalars cross the IPC boundary.
+    scalars cross the IPC boundary. Each trial is deterministic in its
+    args (the entropy key fully seeds its RNG), so the result is
+    store-backed (:mod:`repro.store`): resumed or repeated sweeps skip
+    completed trials.
     """
-    from repro.experiments.sweeps import make_topology
 
+    def compute() -> list:
+        from repro.experiments.sweeps import make_topology
+
+        kind, n, topo_seed, fraction, entropy = args
+        topo = make_topology(kind, n, seed=topo_seed)
+        rng = np.random.default_rng(np.random.SeedSequence(list(entropy)))
+        faults = sample_link_faults(topo, fraction, seed=rng)
+        survivor = faults.apply(topo)
+        if not survivor.is_connected():
+            return [False, float("nan"), float("nan"), float("nan")]
+        # Streaming engine: O(n) memory, exact, block/worker invariant.
+        # Workers=1 inside the trial -- the fan-out is over trials.
+        stats = streaming_hop_stats(survivor, workers=1)
+        kept = survivor.num_links / topo.num_links
+        return [True, float(stats.diameter), stats.aspl, kept]
+
+    if not store.store_enabled():
+        return tuple(compute())
     kind, n, topo_seed, fraction, entropy = args
-    topo = make_topology(kind, n, seed=topo_seed)
-    rng = np.random.default_rng(np.random.SeedSequence(list(entropy)))
-    faults = sample_link_faults(topo, fraction, seed=rng)
-    survivor = faults.apply(topo)
-    if not survivor.is_connected():
-        return False, float("nan"), float("nan"), float("nan")
-    # Streaming engine: O(n) memory, exact, block/worker invariant.
-    # Workers=1 inside the trial -- the fan-out is over trials.
-    stats = streaming_hop_stats(survivor, workers=1)
-    kept = survivor.num_links / topo.num_links
-    return True, float(stats.diameter), stats.aspl, kept
+    key = store.run_key(
+        "fault_trial",
+        {
+            "kind": kind,
+            "n": int(n),
+            "topo_seed": int(topo_seed),
+            "fraction": float(fraction),
+            "entropy": [int(e) for e in entropy],
+        },
+    )
+    connected, diameter, aspl, kept = store.cached_value(key, compute)
+    return bool(connected), float(diameter), float(aspl), float(kept)
 
 
 def _entropy(seed: int, kind_idx: int, frac_idx: int, trial: int) -> tuple:

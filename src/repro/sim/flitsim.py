@@ -152,6 +152,13 @@ class FlitLevelSimulator:
     time; the digest lands in ``SimResult.telemetry``.
     """
 
+    #: When the network is completely idle (no busy units, no queued
+    #: hosts) the run loop jumps straight to the next event cycle
+    #: instead of ticking one cycle at a time. Results are bit-identical
+    #: (tests/test_sim_flit.py pins this); set to ``False`` on an
+    #: instance to force the plain linear scan.
+    _fast_forward = True
+
     def __init__(
         self,
         topo: Topology,
@@ -242,6 +249,7 @@ class FlitLevelSimulator:
                 for e in fault_schedule.events
             ]
         self._recovering: list[tuple[FaultRecord, set[int]]] = []
+        self._ff_cycles_skipped = 0  #: idle cycles skipped by fast-forward
         self._faults_left = len(self._fault_queue)
         self._last_fault_ns: float | None = None
 
@@ -516,7 +524,7 @@ class FlitLevelSimulator:
         close any fault event whose in-flight set it empties."""
         for record, pids in self._recovering:
             pids.discard(pid)
-            if not pids and record.recovery_ns != record.recovery_ns:
+            if not pids and math.isnan(record.recovery_ns):
                 record.recovery_ns = t_ns - record.time_ns
         self._recovering = [(r, p) for r, p in self._recovering if p]
 
@@ -651,6 +659,49 @@ class FlitLevelSimulator:
         telemetry.count("faults.flits_dropped", flits_dropped)
         telemetry.observe("faults.reroute_s", reroute_wall)
 
+    def _idle_next_event(self, cycle: int, faults_pending, horizon: int) -> int:
+        """Earliest future cycle at which a completely idle network
+        (``_busy`` and ``_pending_hosts`` both empty) can do anything.
+
+        An idle tick touches no simulation state, so the run loop may
+        jump straight to the next of: a pending fault, a due credit
+        return, a telemetry sample, the first cycle whose time reaches
+        the earliest host arrival, or -- once the drain is complete --
+        the multiple-of-512 cycle where the termination check fires.
+        Jumping *to* (never past) each of these reproduces the linear
+        scan bit for bit: every cycle skipped is one where the original
+        loop ran all phases as no-ops.
+        """
+        nxt = horizon
+        if faults_pending:
+            nxt = min(nxt, faults_pending[0][0])
+        if self._credit_due:
+            nxt = min(nxt, min(self._credit_due))
+        if self._sampler is not None:
+            nxt = min(nxt, self._next_sample_cycle)
+        arr = float(np.min(self._next_arrival))
+        if math.isfinite(arr):
+            # Smallest c with c * flit_time >= arr, matching the exact
+            # float comparison _generate_traffic performs per cycle.
+            c = int(arr // self.cfg.flit_time_ns)
+            while self._time_ns(c) < arr:
+                c += 1
+            nxt = min(nxt, c)
+        if (
+            not faults_pending
+            and self._result.delivered_measured + self._result.dropped_measured
+            >= self._result.generated_measured
+        ):
+            # Next multiple-of-512 cycle past the measurement window:
+            # the termination check would break there if nothing else
+            # (an arrival, a fault) intervenes -- and if something does,
+            # the min above lands us on it first.
+            brk = (cycle // 512 + 1) * 512
+            while self._time_ns(brk) <= self._measure_end:
+                brk += 512
+            nxt = min(nxt, brk)
+        return nxt
+
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
         horizon_ns = self._measure_end + self.cfg.drain_ns
@@ -660,7 +711,8 @@ class FlitLevelSimulator:
             self._next_arrival[h] = gaps.next(h)
 
         faults_pending = deque(sorted(self._fault_queue, key=lambda f: f[0]))
-        for cycle in range(horizon):
+        cycle = 0
+        while cycle < horizon:
             while faults_pending and faults_pending[0][0] <= cycle:
                 self._apply_fault(faults_pending.popleft()[1], cycle)
             self._return_credits(cycle)
@@ -682,9 +734,17 @@ class FlitLevelSimulator:
                 >= self._result.generated_measured
             ):
                 break
+            if self._fast_forward and not self._busy and not self._pending_hosts:
+                nxt = max(cycle + 1, self._idle_next_event(cycle, faults_pending, horizon))
+                self._ff_cycles_skipped += nxt - cycle - 1
+                cycle = nxt
+            else:
+                cycle += 1
         if self._last_fault_ns is not None:
             window = self._measure_end - max(self._last_fault_ns, self._measure_start)
             self._result.post_fault_window_ns = max(0.0, window)
+        if self._ff_cycles_skipped:
+            telemetry.count("flit.fast_forward_cycles", self._ff_cycles_skipped)
         if self._sampler is not None:
             self._result.telemetry = self._sampler.finalize("sim.flit")
             self._result.telemetry["samples"] = self._sampler.records()

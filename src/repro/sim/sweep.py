@@ -59,7 +59,21 @@ def find_saturation(
     to the serial search; the extra speculative probes above the
     bracket are free wall-clock-wise but not counted. The bisection
     phase is inherently sequential and always runs serially.
+
+    Probes are memoized by load within one search, so a load is never
+    evaluated twice per call; with a store-backed ``run_at`` (see
+    :func:`repro.experiments.latency.saturation_search` and
+    :mod:`repro.store`) repeated searches additionally find their
+    ladder persisted and skip straight to bisection.
     """
+    memo: dict[float, SimResult] = {}
+
+    def probe(load: float) -> SimResult:
+        result = memo.get(load)
+        if result is None:
+            result = memo[load] = run_at(load)
+        return result
+
     probes = 0
     lo, lo_result = 0.0, None
     hi = None
@@ -72,11 +86,12 @@ def find_saturation(
     if map_fn is None:
         results: list[SimResult] = []
         for x in ladder:
-            results.append(run_at(x))
+            results.append(probe(x))
             if results[-1].saturated:
                 break
     else:
         results = map_fn(run_at, ladder)
+        memo.update(zip(ladder, results))
     for step, r in zip(ladder, results):
         probes += 1
         if r.saturated:
@@ -96,7 +111,7 @@ def find_saturation(
 
     while hi - lo > resolution_gbps:
         mid = (hi + lo) / 2.0
-        r = run_at(mid)
+        r = probe(mid)
         probes += 1
         if r.saturated:
             hi, hi_result = mid, r

@@ -1,0 +1,63 @@
+"""Persistent run store: content-addressed simulation results.
+
+The layer above :mod:`repro.cache`: where the artifact cache memoizes
+per-topology *inputs* (distance matrices, routing tables), the run
+store memoizes whole per-point *outputs* -- one
+:class:`~repro.sim.metrics.SimResult` per canonical
+``(topology, routing, pattern, load, config, seed, engine,
+buffer_flits, fault schedule)`` fingerprint, persisted as auditable
+JSON under ``REPRO_STORE_DIR`` with an in-memory LRU front, atomic
+locked writes and an in-flight dedup scheduler. Every experiment entry
+point consults it, which makes sweeps resumable (``python -m repro
+sweep --resume``) and warm re-runs of a whole Fig. 10 subplot 10x+
+faster with bit-identical curves (the ``store_warm_sweep`` bench gate).
+
+Knobs: ``REPRO_STORE`` (``off`` bypasses), ``REPRO_STORE_DIR`` (disk
+tier), ``REPRO_STORE_MEM`` (LRU entries). See ``docs/API.md``.
+"""
+
+from repro.store.codec import CODEC_VERSION, decode_result, encode_result
+from repro.store.keys import (
+    RunKey,
+    config_fingerprint,
+    run_key,
+    schedule_fingerprint,
+    sim_run_key,
+)
+from repro.store.runstore import (
+    StoreStats,
+    cached_sim,
+    cached_value,
+    clear_store,
+    dedup_map,
+    get,
+    get_or_run,
+    put,
+    reset_store_stats,
+    store_dir,
+    store_enabled,
+    store_stats,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "RunKey",
+    "StoreStats",
+    "cached_sim",
+    "cached_value",
+    "clear_store",
+    "config_fingerprint",
+    "decode_result",
+    "dedup_map",
+    "encode_result",
+    "get",
+    "get_or_run",
+    "put",
+    "reset_store_stats",
+    "run_key",
+    "schedule_fingerprint",
+    "sim_run_key",
+    "store_dir",
+    "store_enabled",
+    "store_stats",
+]

@@ -1,0 +1,116 @@
+"""SimResult <-> JSON: exact round-trip for stored run results.
+
+The store's whole value rests on warm results being *bit-identical* to
+fresh ones, so this codec is deliberately explicit: every
+:class:`~repro.sim.metrics.SimResult` field is written out by name and
+restored by name. Floats survive exactly -- ``json`` serializes them
+with ``repr``, the shortest string that round-trips to the same IEEE
+double -- and non-finite values (``recovery_ns`` is ``nan`` until a
+fault drains) use Python's ``NaN``/``Infinity`` extension, which the
+matching loader parses back. The only representational change is
+``channel_busy_ns``'s tuple keys, stored as ``[u, v, busy]`` triples
+and rebuilt on decode.
+
+An embedded format version guards future field changes: entries with
+an unknown version are treated as misses and recomputed, never
+half-decoded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import SimResult
+
+__all__ = ["CODEC_VERSION", "encode_result", "decode_result"]
+
+#: Bump when the encoded layout changes; mismatched entries are misses.
+CODEC_VERSION = 1
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays and tuples for JSON."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def encode_result(result: SimResult) -> dict:
+    """One JSON-able document holding every ``SimResult`` field."""
+    return {
+        "codec": CODEC_VERSION,
+        "topology": result.topology,
+        "pattern": result.pattern,
+        "offered_gbps": result.offered_gbps,
+        "num_hosts": result.num_hosts,
+        "measure_window_ns": result.measure_window_ns,
+        "generated_measured": result.generated_measured,
+        "delivered_measured": result.delivered_measured,
+        "delivered_in_window_bits": result.delivered_in_window_bits,
+        "delivered_in_window_count": result.delivered_in_window_count,
+        "latencies_ns": [float(x) for x in result.latencies_ns],
+        "hop_counts": [int(x) for x in result.hop_counts],
+        "packets_dropped": result.packets_dropped,
+        "flits_dropped": result.flits_dropped,
+        "dropped_measured": result.dropped_measured,
+        "fault_records": [
+            {
+                "time_ns": f.time_ns,
+                "links_failed": f.links_failed,
+                "packets_dropped": f.packets_dropped,
+                "flits_dropped": f.flits_dropped,
+                "in_flight_at_fault": f.in_flight_at_fault,
+                "recovery_ns": f.recovery_ns,
+                "reroute_wall_s": f.reroute_wall_s,
+            }
+            for f in result.fault_records
+        ],
+        "post_fault_bits": result.post_fault_bits,
+        "post_fault_window_ns": result.post_fault_window_ns,
+        "channel_busy_ns": [
+            [int(u), int(v), float(busy)]
+            for (u, v), busy in result.channel_busy_ns.items()
+        ],
+        "telemetry": _jsonable(result.telemetry),
+    }
+
+
+def decode_result(doc: dict) -> SimResult | None:
+    """Rebuild a ``SimResult``; ``None`` for unknown codec versions."""
+    # Imported here, not at module top: repro.store must stay importable
+    # from low layers (repro.faults) without pulling in repro.sim, which
+    # imports repro.routing and would close an import cycle.
+    from repro.sim.metrics import FaultRecord, SimResult
+
+    if doc.get("codec") != CODEC_VERSION:
+        return None
+    return SimResult(
+        topology=doc["topology"],
+        pattern=doc["pattern"],
+        offered_gbps=doc["offered_gbps"],
+        num_hosts=doc["num_hosts"],
+        measure_window_ns=doc["measure_window_ns"],
+        generated_measured=doc["generated_measured"],
+        delivered_measured=doc["delivered_measured"],
+        delivered_in_window_bits=doc["delivered_in_window_bits"],
+        delivered_in_window_count=doc["delivered_in_window_count"],
+        latencies_ns=list(doc["latencies_ns"]),
+        hop_counts=list(doc["hop_counts"]),
+        packets_dropped=doc["packets_dropped"],
+        flits_dropped=doc["flits_dropped"],
+        dropped_measured=doc["dropped_measured"],
+        fault_records=[FaultRecord(**f) for f in doc["fault_records"]],
+        post_fault_bits=doc["post_fault_bits"],
+        post_fault_window_ns=doc["post_fault_window_ns"],
+        channel_busy_ns={(u, v): busy for u, v, busy in doc["channel_busy_ns"]},
+        telemetry=doc["telemetry"],
+    )

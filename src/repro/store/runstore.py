@@ -1,0 +1,358 @@
+"""Persistent run store: never simulate the same point twice.
+
+PR 1's artifact cache proved fingerprint-keyed reuse pays 30x+ at the
+topology layer; this module lifts the idea one layer up, to whole
+simulation results. Every experiment entry point (`fig10`,
+``run_curve``, ``saturation_search``, the robustness and degradation
+sweeps) asks the store before running a point and publishes what it
+computed, so repeated figures, resumed sweeps and overlapping searches
+share work instead of repeating it -- the way cluster-comparison
+studies amortize thousands of near-identical evaluations across one
+campaign.
+
+Two tiers, mirroring :mod:`repro.cache`:
+
+* an in-process LRU of *encoded* documents (capacity
+  ``REPRO_STORE_MEM`` entries, default 512) -- entries are decoded on
+  every hit, so a caller mutating a returned result can never pollute
+  later hits;
+* an optional on-disk JSON tier under ``REPRO_STORE_DIR`` -- one
+  human-auditable file per point (the canonical key payload is stored
+  beside the result), shared by worker processes and surviving the
+  process, which is what makes killed sweeps resumable.
+
+Concurrency: disk writes are *atomic* (``mkstemp`` + ``os.replace``)
+and serialized per entry by an ``fcntl`` file lock, with a
+first-writer-wins existence check under the lock -- concurrent worker
+processes and concurrent sweeps can race on the same point without
+corrupting or duplicating entries. Within one batch, the in-flight
+dedup scheduler (:func:`dedup_map`) collapses identical points before
+they are dispatched, so duplicates run once even on the cold path.
+
+``REPRO_STORE=off`` bypasses both tiers entirely. Telemetry counters
+``store.hits`` / ``store.misses`` / ``store.bytes`` track traffic when
+telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import telemetry
+from repro.store.codec import decode_result, encode_result
+from repro.store.keys import RunKey
+
+try:  # POSIX file locking; Windows falls back to atomic-rename only.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "StoreStats",
+    "store_enabled",
+    "store_dir",
+    "store_stats",
+    "reset_store_stats",
+    "clear_store",
+    "get",
+    "put",
+    "get_or_run",
+    "cached_sim",
+    "cached_value",
+    "dedup_map",
+]
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/byte accounting for both store tiers."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0  #: entries written to the disk tier
+    bytes_written: int = 0
+    bytes_read: int = 0
+    inflight_dedup: int = 0  #: duplicate points collapsed inside batches
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def copy(self) -> "StoreStats":
+        return StoreStats(
+            self.memory_hits, self.disk_hits, self.misses, self.stores,
+            self.bytes_written, self.bytes_read, self.inflight_dedup,
+        )
+
+
+_stats = StoreStats()
+_lock = threading.RLock()
+_memory: OrderedDict[str, str] = OrderedDict()  # digest -> encoded document
+
+
+# ----------------------------------------------------------------------
+# configuration (env read at call time, like repro.cache)
+# ----------------------------------------------------------------------
+def store_enabled() -> bool:
+    """False when ``REPRO_STORE`` is set to ``off``/``0``/``false``."""
+    return os.environ.get("REPRO_STORE", "on").strip().lower() not in ("off", "0", "false")
+
+
+def store_dir() -> str | None:
+    """Disk-tier directory (``REPRO_STORE_DIR``), or None for memory-only."""
+    d = os.environ.get("REPRO_STORE_DIR", "").strip()
+    return d or None
+
+
+def _memory_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_STORE_MEM", "512")))
+    except ValueError:
+        return 512
+
+
+def store_stats() -> StoreStats:
+    """Snapshot of the counters (monotonic since process start/reset)."""
+    with _lock:
+        return _stats.copy()
+
+
+def reset_store_stats() -> None:
+    with _lock:
+        _stats.__init__()
+
+
+def clear_store(disk: bool = False) -> None:
+    """Drop the in-process tier (and optionally the disk tier)."""
+    with _lock:
+        _memory.clear()
+    if disk:
+        d = store_dir()
+        if d and os.path.isdir(d):
+            for name in os.listdir(d):
+                if name.endswith(".json") or name.endswith(".lock"):
+                    try:
+                        os.unlink(os.path.join(d, name))
+                    except OSError:
+                        pass
+
+
+# ----------------------------------------------------------------------
+# tier plumbing
+# ----------------------------------------------------------------------
+def _memory_get(digest: str) -> str | None:
+    with _lock:
+        text = _memory.get(digest)
+        if text is not None:
+            _memory.move_to_end(digest)
+        return text
+
+
+def _memory_put(digest: str, text: str) -> None:
+    with _lock:
+        _memory[digest] = text
+        _memory.move_to_end(digest)
+        cap = _memory_capacity()
+        while len(_memory) > cap:
+            _memory.popitem(last=False)
+
+
+def _entry_path(d: str, key: RunKey) -> str:
+    return os.path.join(d, key.stem + ".json")
+
+
+def _disk_load(key: RunKey) -> str | None:
+    d = store_dir()
+    if d is None:
+        return None
+    path = _entry_path(d, key)
+    try:
+        with open(path, "r") as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def _disk_store(key: RunKey, text: str) -> None:
+    """Write one entry: exclusive per-entry lock, first writer wins,
+    atomic tmp-write + rename. Best-effort on read-only/full disks."""
+    d = store_dir()
+    if d is None:
+        return
+    path = _entry_path(d, key)
+    try:
+        os.makedirs(d, exist_ok=True)
+        with open(os.path.join(d, key.stem + ".lock"), "w") as lockf:
+            if fcntl is not None:
+                fcntl.flock(lockf, fcntl.LOCK_EX)
+            try:
+                if os.path.exists(path):
+                    return  # another process/worker already published it
+                fd, tmp = tempfile.mkstemp(dir=d, suffix=".json.tmp")
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        fh.write(text)
+                    os.replace(tmp, path)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(lockf, fcntl.LOCK_UN)
+        with _lock:
+            _stats.stores += 1
+            _stats.bytes_written += len(text)
+        telemetry.count("store.stores")
+        telemetry.count("store.bytes", len(text))
+    except OSError:
+        pass
+
+
+def _parse(key: RunKey, text: str) -> dict | None:
+    """Decode an entry document; None on corruption or key mismatch.
+
+    The stored canonical payload must match the requested key exactly
+    -- a digest collision (or a hand-edited file) degrades to a miss,
+    never to a wrong result.
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return None
+    if doc.get("ns") != key.namespace or doc.get("key") != key.payload:
+        return None
+    return doc
+
+
+# ----------------------------------------------------------------------
+# public get / put / get-or-run
+# ----------------------------------------------------------------------
+def get(key: RunKey, decode: Callable[[dict], object] | None = None):
+    """Look a point up (memory tier, then disk). None on a miss.
+
+    ``decode`` maps the stored ``result`` document back to a value;
+    default is the identity (plain JSON values).
+    """
+    if not store_enabled():
+        return None
+    text = _memory_get(key.digest)
+    tier = "memory"
+    if text is None:
+        text = _disk_load(key)
+        tier = "disk"
+        if text is not None:
+            with _lock:
+                _stats.bytes_read += len(text)
+    if text is None:
+        return None
+    doc = _parse(key, text)
+    if doc is None:
+        return None
+    value = doc["result"] if decode is None else decode(doc["result"])
+    if value is None:  # unknown codec version: treat as a miss
+        return None
+    with _lock:
+        if tier == "memory":
+            _stats.memory_hits += 1
+        else:
+            _stats.disk_hits += 1
+    telemetry.count("store.hits")
+    if tier == "disk":
+        _memory_put(key.digest, text)
+    return value
+
+
+def put(key: RunKey, value, encode: Callable[[object], dict] | None = None) -> None:
+    """Publish a computed point to both tiers (no-op when disabled)."""
+    if not store_enabled():
+        return
+    doc = {
+        "ns": key.namespace,
+        "key": key.payload,
+        "result": value if encode is None else encode(value),
+    }
+    text = json.dumps(doc, allow_nan=True)
+    _memory_put(key.digest, text)
+    _disk_store(key, text)
+
+
+def get_or_run(
+    key: RunKey,
+    compute: Callable[[], T],
+    encode: Callable[[T], dict] | None = None,
+    decode: Callable[[dict], T] | None = None,
+) -> T:
+    """The store's main verb: serve a stored point or compute-and-publish."""
+    if not store_enabled():
+        return compute()
+    value = get(key, decode=decode)
+    if value is not None:
+        return value
+    with _lock:
+        _stats.misses += 1
+    telemetry.count("store.misses")
+    value = compute()
+    put(key, value, encode=encode)
+    return value
+
+
+def cached_sim(key: RunKey, compute: Callable[[], object]):
+    """:func:`get_or_run` specialized to :class:`~repro.sim.metrics.SimResult`."""
+    return get_or_run(key, compute, encode=encode_result, decode=decode_result)
+
+
+def cached_value(key: RunKey, compute: Callable[[], object]):
+    """:func:`get_or_run` for plain-JSON values (lists/dicts/scalars)."""
+    return get_or_run(key, compute)
+
+
+# ----------------------------------------------------------------------
+# in-flight dedup scheduler
+# ----------------------------------------------------------------------
+def dedup_map(
+    fn: Callable[[T], R],
+    jobs: Iterable[T],
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``jobs`` running each *distinct* job exactly once.
+
+    Jobs must be hashable and fully determine their result (the
+    contract every store-backed point function already satisfies: equal
+    args imply an equal run key). Distinct jobs keep first-appearance
+    order and fan out through :func:`repro.util.parallel.parallel_map`;
+    duplicates are filled in from the single computed result, so two
+    identical points requested in one batch run once -- even with the
+    store disabled or cold.
+    """
+    from repro.util.parallel import parallel_map
+
+    jobs_list: Sequence[T] = list(jobs)
+    index: dict[T, int] = {}
+    unique: list[T] = []
+    for job in jobs_list:
+        if job not in index:
+            index[job] = len(unique)
+            unique.append(job)
+    duplicates = len(jobs_list) - len(unique)
+    if duplicates:
+        with _lock:
+            _stats.inflight_dedup += duplicates
+        telemetry.count("store.inflight_dedup", duplicates)
+    results = parallel_map(fn, unique, workers=workers)
+    return [results[index[job]] for job in jobs_list]

@@ -72,3 +72,59 @@ class TestCommands:
         main(["robustness", "--n", "64", "--trials", "2"])
         out = capsys.readouterr().out
         assert "Bisection" in out and "Link-failure" in out
+
+    def test_faults_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "deg.json"
+        main(["faults", "--n", "64", "--trials", "1", "--fractions", "0.0,0.05",
+              "--kinds", "dsn", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "Degradation" in out and out_path.exists()
+
+
+class TestSweep:
+    @pytest.fixture(autouse=True)
+    def clean_store_env(self):
+        """The sweep handler sets REPRO_STORE/_DIR in os.environ for
+        pool workers; snapshot and restore them around each test."""
+        import os
+
+        from repro import store
+
+        saved = {k: os.environ.get(k) for k in ("REPRO_STORE", "REPRO_STORE_DIR")}
+        for k in saved:
+            os.environ.pop(k, None)
+        store.clear_store()
+        store.reset_store_stats()
+        yield
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        store.clear_store()
+        store.reset_store_stats()
+
+    def test_sweep_resume_identical_artifacts(self, capsys, tmp_path):
+        """Cold sweep populates the store; a second run resumes from it
+        and writes a byte-identical artifact (the CI smoke, in-process)."""
+        from repro import store
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        common = ["sweep", "--kinds", "dsn", "--loads", "1,2", "--n", "16",
+                  "--store-dir", str(tmp_path / "store"), "--store-stats"]
+        main(common + ["--out", str(a)])
+        out_cold = capsys.readouterr().out
+        assert "2 misses" in out_cold and "2 stores" in out_cold
+
+        store.clear_store()  # fresh process simulation: memory tier gone
+        store.reset_store_stats()
+        main(common + ["--out", str(b)])
+        out_warm = capsys.readouterr().out
+        assert "2 hits" in out_warm and "0 misses" in out_warm
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_sweep_no_store(self, capsys, tmp_path):
+        main(["sweep", "--kinds", "dsn", "--loads", "2", "--n", "16",
+              "--no-store", "--store-stats"])
+        out = capsys.readouterr().out
+        assert "0 hits" in out and "0 misses" in out and "0 stores" in out

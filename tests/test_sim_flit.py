@@ -102,3 +102,45 @@ class TestValidation:
         adapter = AdaptiveEscapeAdapter(routing, 4, np.random.default_rng(0))
         with pytest.raises(ValueError):
             FlitLevelSimulator(topo, adapter, make_pattern("uniform", 32), 1.0, CFG)
+
+
+class TestFastForward:
+    """The idle fast-forward must be invisible: jumping over cycles in
+    which the network would do nothing cannot change any result."""
+
+    @staticmethod
+    def _run(load, ff, buffer_flits=None, pattern="uniform"):
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+        pat = make_pattern(pattern, topo.n * CFG.hosts_per_switch)
+        sim = FlitLevelSimulator(topo, adapter, pat, load, CFG, buffer_flits=buffer_flits)
+        sim._fast_forward = ff
+        return sim.run(), sim._ff_cycles_skipped
+
+    @pytest.mark.parametrize("load", [0.25, 1.0, 4.0])
+    def test_bit_identical_to_linear_scan(self, load):
+        linear, _ = self._run(load, False)
+        fast, skipped = self._run(load, True)
+        assert fast.latencies_ns == linear.latencies_ns
+        assert fast.hop_counts == linear.hop_counts
+        assert fast.generated_measured == linear.generated_measured
+        assert fast.delivered_measured == linear.delivered_measured
+        assert fast.delivered_in_window_bits == linear.delivered_in_window_bits
+        assert fast.delivered_in_window_count == linear.delivered_in_window_count
+        assert fast.channel_busy_ns == linear.channel_busy_ns
+        if load <= 1.0:
+            assert skipped > 0  # low load actually has idle stretches
+
+    def test_bit_identical_wormhole(self):
+        linear, _ = self._run(1.0, False, buffer_flits=4)
+        fast, _ = self._run(1.0, True, buffer_flits=4)
+        assert fast.latencies_ns == linear.latencies_ns
+        assert fast.channel_busy_ns == linear.channel_busy_ns
+
+    def test_linear_scan_never_skips(self):
+        _, skipped = self._run(0.25, False)
+        assert skipped == 0
+
+    def test_fast_forward_is_default(self):
+        assert FlitLevelSimulator._fast_forward is True

@@ -1,0 +1,398 @@
+"""Tests for the persistent run store (repro.store).
+
+The store's contract: a stored point is *bit-identical* to a fresh
+computation -- across the memory tier, the disk tier, worker processes
+racing on one entry, and killed-and-resumed sweeps. Anything less and
+"never simulate the same point twice" would silently change results.
+"""
+
+import json
+import math
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import store
+from repro.core import DSNTopology
+from repro.sim import SimConfig
+from repro.sim.metrics import FaultRecord, SimResult
+
+
+@pytest.fixture(autouse=True)
+def fresh_store(monkeypatch):
+    """Each test starts with an empty memory tier, no disk, zero stats."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE_MEM", raising=False)
+    store.clear_store()
+    store.reset_store_stats()
+    yield
+    store.clear_store()
+    store.reset_store_stats()
+
+
+def _sample_result() -> SimResult:
+    return SimResult(
+        topology="DSN-3-16",
+        pattern="uniform",
+        offered_gbps=2.0,
+        num_hosts=64,
+        measure_window_ns=6000.0,
+        generated_measured=10,
+        delivered_measured=9,
+        delivered_in_window_bits=4096.0,
+        delivered_in_window_count=8,
+        latencies_ns=[100.5, 200.25, 0.1 + 0.2],
+        hop_counts=[2, 3, 4],
+        packets_dropped=1,
+        flits_dropped=4,
+        dropped_measured=1,
+        fault_records=[
+            FaultRecord(
+                time_ns=3000.0,
+                links_failed=2,
+                packets_dropped=1,
+                flits_dropped=4,
+                in_flight_at_fault=3,
+                recovery_ns=float("nan"),
+                reroute_wall_s=0.002,
+            )
+        ],
+        post_fault_bits=128.0,
+        post_fault_window_ns=3000.0,
+        channel_busy_ns={(0, 1): 12.5, (5, 3): 0.75},
+        telemetry={"counters": {"sim.delivered": 9}, "samples": [{"t_ns": 1.0}]},
+    )
+
+
+class TestCodec:
+    def test_round_trip_exact(self):
+        r = _sample_result()
+        doc = store.encode_result(r)
+        back = store.decode_result(json.loads(json.dumps(doc, allow_nan=True)))
+        assert back.latencies_ns == r.latencies_ns
+        assert back.hop_counts == r.hop_counts
+        assert back.channel_busy_ns == r.channel_busy_ns
+        assert back.telemetry == r.telemetry
+        assert math.isnan(back.fault_records[0].recovery_ns)
+        assert back.fault_records[0].time_ns == r.fault_records[0].time_ns
+        # Everything else field by field, via a second encode.
+        assert json.dumps(store.encode_result(back), sort_keys=True, allow_nan=True) == \
+            json.dumps(doc, sort_keys=True, allow_nan=True)
+
+    def test_numpy_values_become_plain_json(self):
+        r = _sample_result()
+        r.latencies_ns = [np.float64(1.5)]
+        r.hop_counts = [np.int64(3)]
+        r.telemetry = {"arr": np.arange(3), "scalar": np.float32(2.0)}
+        doc = json.loads(json.dumps(store.encode_result(r), allow_nan=True))
+        assert doc["latencies_ns"] == [1.5]
+        assert doc["hop_counts"] == [3]
+        assert doc["telemetry"]["arr"] == [0, 1, 2]
+        assert doc["telemetry"]["scalar"] == 2.0
+
+    def test_unknown_codec_version_is_a_miss(self):
+        doc = store.encode_result(_sample_result())
+        doc["codec"] = store.CODEC_VERSION + 1
+        assert store.decode_result(doc) is None
+
+
+class TestKeys:
+    def test_canonical_payload_order(self):
+        a = store.run_key("t", {"a": 1, "b": 2.5})
+        b = store.run_key("t", {"b": 2.5, "a": 1})
+        assert a.digest == b.digest
+        assert a.payload == b.payload
+
+    def test_namespace_and_payload_distinguish(self):
+        base = store.run_key("t", {"a": 1})
+        assert store.run_key("u", {"a": 1}).digest != base.digest
+        assert store.run_key("t", {"a": 2}).digest != base.digest
+
+    def test_sim_key_stable_across_topology_rebuilds(self):
+        cfg = SimConfig(seed=3)
+        a = store.sim_run_key(DSNTopology(16), "adaptive", "uniform", 2.0, cfg, 1)
+        b = store.sim_run_key(DSNTopology(16), "adaptive", "uniform", 2.0, cfg, 1)
+        assert a == b
+
+    def test_sim_key_sensitive_to_every_axis(self):
+        cfg = SimConfig(seed=3)
+        topo = DSNTopology(16)
+        base = store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1)
+        variants = [
+            store.sim_run_key(DSNTopology(64), "adaptive", "uniform", 2.0, cfg, 1),
+            store.sim_run_key(topo, "updown", "uniform", 2.0, cfg, 1),
+            store.sim_run_key(topo, "adaptive", "bit_reversal", 2.0, cfg, 1),
+            store.sim_run_key(topo, "adaptive", "uniform", 4.0, cfg, 1),
+            store.sim_run_key(topo, "adaptive", "uniform", 2.0, SimConfig(seed=4), 1),
+            store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 2),
+            store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1, engine="flit"),
+            store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1, buffer_flits=2),
+        ]
+        digests = {v.digest for v in variants}
+        assert base.digest not in digests
+        assert len(digests) == len(variants)
+
+    def test_schedule_fingerprint_ignores_labels(self):
+        from repro.faults import FaultSchedule, FaultSet
+        from repro.faults.schedule import FaultEvent
+
+        a = FaultSchedule([FaultEvent(100.0, FaultSet(dead_links=((1, 2),), label="x"))])
+        b = FaultSchedule([FaultEvent(100.0, FaultSet(dead_links=((1, 2),), label="y"))])
+        assert store.schedule_fingerprint(a) == store.schedule_fingerprint(b)
+        assert store.schedule_fingerprint(None) is None
+
+
+class TestMemoryTier:
+    def test_get_or_run_computes_once(self):
+        key = store.run_key("t", {"x": 1})
+        calls = []
+        for _ in range(3):
+            v = store.cached_value(key, lambda: calls.append(1) or {"v": 42})
+            assert v == {"v": 42}
+        assert len(calls) == 1
+        s = store.store_stats()
+        assert s.misses == 1 and s.memory_hits == 2 and s.disk_hits == 0
+
+    def test_hits_are_decoded_fresh(self):
+        """A caller mutating a returned value must not pollute later hits."""
+        key = store.run_key("t", {"x": 2})
+        first = store.cached_value(key, lambda: {"v": [1, 2]})
+        first["v"].append(99)
+        second = store.cached_value(key, lambda: {"v": [1, 2]})
+        assert second == {"v": [1, 2]}
+
+    def test_lru_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MEM", "2")
+        keys = [store.run_key("t", {"i": i}) for i in range(3)]
+        for i, k in enumerate(keys):
+            store.cached_value(k, lambda i=i: {"i": i})
+        # key 0 was evicted; keys 2 and 1 are resident (probe most-recent
+        # first so the probes themselves don't evict anything).
+        store.reset_store_stats()
+        for i in (2, 1, 0):
+            store.cached_value(keys[i], lambda i=i: {"i": i})
+        s = store.store_stats()
+        assert s.misses == 1 and s.memory_hits == 2
+
+    def test_disabled_bypasses_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "off")
+        key = store.run_key("t", {"x": 3})
+        calls = []
+        for _ in range(2):
+            store.cached_value(key, lambda: calls.append(1) or {"v": 1})
+        assert len(calls) == 2
+        s = store.store_stats()
+        assert s.hits == 0 and s.misses == 0
+
+
+class TestDiskTier:
+    def test_round_trip_and_backfill(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        key = store.run_key("t", {"x": 1})
+        store.cached_value(key, lambda: {"v": 7})
+        entry = tmp_path / (key.stem + ".json")
+        assert entry.exists()
+        doc = json.loads(entry.read_text())
+        assert doc["ns"] == "t" and doc["key"] == key.payload and doc["result"] == {"v": 7}
+
+        store.clear_store()  # drop memory: next get must come from disk
+        store.reset_store_stats()
+        assert store.cached_value(key, lambda: pytest.fail("should not run")) == {"v": 7}
+        s = store.store_stats()
+        assert s.disk_hits == 1 and s.bytes_read > 0
+        # The disk hit backfilled memory.
+        assert store.cached_value(key, lambda: pytest.fail("nope")) == {"v": 7}
+        assert store.store_stats().memory_hits == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        key = store.run_key("t", {"x": 1})
+        store.cached_value(key, lambda: {"v": 7})
+        (tmp_path / (key.stem + ".json")).write_text("{not json")
+        store.clear_store()
+        assert store.get(key) is None
+
+    def test_wrong_payload_degrades_to_miss(self, tmp_path, monkeypatch):
+        """A digest collision (or edited file) must never serve a wrong
+        result: the stored canonical payload is checked against the key."""
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        key = store.run_key("t", {"x": 1})
+        other = store.run_key("t", {"x": 2})
+        doc = {"ns": "t", "key": other.payload, "result": {"v": 666}}
+        (tmp_path / (key.stem + ".json")).write_text(json.dumps(doc))
+        assert store.get(key) is None
+
+    def test_clear_store_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        key = store.run_key("t", {"x": 1})
+        store.cached_value(key, lambda: {"v": 7})
+        store.clear_store(disk=True)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_sim_result_disk_round_trip_bit_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        key = store.run_key("simtest", {"x": 1})
+        r = _sample_result()
+        store.put(key, r, encode=store.encode_result)
+        store.clear_store()
+        back = store.get(key, decode=store.decode_result)
+        assert json.dumps(store.encode_result(back), sort_keys=True, allow_nan=True) == \
+            json.dumps(store.encode_result(r), sort_keys=True, allow_nan=True)
+
+
+class TestDedupMap:
+    def test_duplicates_run_once_order_preserved(self):
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * 10
+
+        out = store.dedup_map(fn, [3, 1, 3, 2, 1, 3])
+        assert out == [30, 10, 30, 20, 10, 30]
+        assert calls == [3, 1, 2]
+        assert store.store_stats().inflight_dedup == 3
+
+    def test_no_duplicates_no_accounting(self):
+        assert store.dedup_map(lambda x: x, [1, 2, 3]) == [1, 2, 3]
+        assert store.store_stats().inflight_dedup == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency: two processes racing on the same entry
+# ----------------------------------------------------------------------
+def _race_worker(args):
+    """Compute-and-publish one point; returns (value, stores) observed."""
+    store_dir, salt = args
+    os.environ["REPRO_STORE_DIR"] = store_dir
+    from repro import store as st
+
+    st.clear_store()
+    st.reset_store_stats()
+    key = st.run_key("race", {"point": 1})
+
+    def compute():
+        import time
+
+        time.sleep(0.05)  # widen the race window
+        return {"value": 1234, "salt_ignored": salt % 1}
+
+    value = st.cached_value(key, compute)
+    return value, st.store_stats().stores
+
+
+class TestConcurrency:
+    def test_two_processes_race_same_key(self, tmp_path):
+        """Both processes compute (cold store), both publish, the entry
+        is written exactly once (first writer wins under the lock) and
+        stays valid JSON with the right payload."""
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            results = pool.map(_race_worker, [(str(tmp_path), 1), (str(tmp_path), 2)])
+        values = [v for v, _ in results]
+        assert values[0] == values[1] == {"value": 1234, "salt_ignored": 0}
+        key = store.run_key("race", {"point": 1})
+        entries = list(tmp_path.glob("race-*.json"))
+        assert [e.name for e in entries] == [key.stem + ".json"]
+        doc = json.loads(entries[0].read_text())
+        assert doc["key"] == key.payload and doc["result"]["value"] == 1234
+        # At most one of the racers won the write.
+        assert sum(stores for _, stores in results) <= 2
+        # A third, warm lookup sees the entry without computing.
+        value, _ = _race_worker((str(tmp_path), 3))
+        assert value == {"value": 1234, "salt_ignored": 0}
+
+
+# ----------------------------------------------------------------------
+# experiment wiring: warm curves, resume, saturation
+# ----------------------------------------------------------------------
+CFG = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
+
+
+def _encode_curve(curve):
+    return json.dumps(
+        [store.encode_result(p) for p in curve.points],
+        sort_keys=True,
+        allow_nan=True,
+    )
+
+
+class TestExperimentWiring:
+    def test_run_curve_warm_hits(self):
+        from repro.experiments.latency import run_curve
+
+        cold = run_curve("dsn", "uniform", loads=(1.0, 2.0), n=16, config=CFG, seed=1)
+        assert store.store_stats().misses == 2
+        warm = run_curve("dsn", "uniform", loads=(1.0, 2.0), n=16, config=CFG, seed=1)
+        s = store.store_stats()
+        assert s.memory_hits == 2 and s.misses == 2
+        assert _encode_curve(cold) == _encode_curve(warm)
+
+    def test_duplicate_loads_run_once(self):
+        from repro.experiments.latency import run_curve
+
+        curve = run_curve("dsn", "uniform", loads=(1.0, 1.0, 1.0), n=16, config=CFG, seed=1)
+        s = store.store_stats()
+        assert s.inflight_dedup == 2 and s.misses == 1
+        assert len(curve.points) == 3
+        assert curve.points[0] is curve.points[1] is curve.points[2]
+
+    def test_resume_killed_sweep_byte_identical(self, tmp_path, monkeypatch):
+        """A sweep that died after two points resumes from the store:
+        only the missing points simulate, and the final curve is
+        byte-identical to a never-interrupted run."""
+        from repro.experiments.latency import run_curve
+
+        loads = (1.0, 2.0, 4.0)
+        # The reference: one uninterrupted, store-less run.
+        monkeypatch.setenv("REPRO_STORE", "off")
+        reference = run_curve("dsn", "uniform", loads=loads, n=16, config=CFG, seed=1)
+        monkeypatch.delenv("REPRO_STORE")
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        # "Killed" sweep: only the first two points ever ran.
+        run_curve("dsn", "uniform", loads=loads[:2], n=16, config=CFG, seed=1)
+        assert len(list(tmp_path.glob("sim-*.json"))) == 2
+
+        # Resume in a "fresh process": empty memory tier, zeroed stats.
+        store.clear_store()
+        store.reset_store_stats()
+        resumed = run_curve("dsn", "uniform", loads=loads, n=16, config=CFG, seed=1)
+        s = store.store_stats()
+        assert s.disk_hits == 2 and s.misses == 1
+        assert _encode_curve(resumed) == _encode_curve(reference)
+
+    def test_saturation_search_warm_no_misses(self):
+        from repro.experiments.latency import saturation_search
+
+        first = saturation_search("dsn", "uniform", n=16, config=CFG, seed=1,
+                                  workers=1, max_gbps=16.0)
+        store.reset_store_stats()
+        second = saturation_search("dsn", "uniform", n=16, config=CFG, seed=1,
+                                   workers=1, max_gbps=16.0)
+        assert store.store_stats().misses == 0
+        assert second == first
+
+    def test_fault_trial_store_backed(self, tmp_path, monkeypatch):
+        from repro.faults.degradation import degradation_point
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        a = degradation_point("dsn", 64, 0.05, trials=2, seed=0, workers=1)
+        store.clear_store()
+        store.reset_store_stats()
+        b = degradation_point("dsn", 64, 0.05, trials=2, seed=0, workers=1)
+        assert store.store_stats().disk_hits == 2
+        assert a == b
+
+    def test_fault_table_store_backed(self):
+        from repro.experiments.robustness import fault_table
+
+        table_a, stats_a = fault_table(n=64, fractions=(0.05,), trials=2, seed=0)
+        misses = store.store_stats().misses
+        assert misses == 3  # one per trio topology
+        table_b, stats_b = fault_table(n=64, fractions=(0.05,), trials=2, seed=0)
+        assert store.store_stats().misses == misses
+        assert table_a == table_b and stats_a == stats_b
