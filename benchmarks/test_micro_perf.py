@@ -56,3 +56,21 @@ def test_simulator_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.delivered_measured > 0
+
+
+def test_flit_event_engine_throughput(benchmark):
+    """Flit-level run under the event-driven engine at low load -- the
+    regime where cost should track traffic, not simulated cycles."""
+    from repro.sim import FlitLevelSimulator
+
+    topo = DSNTopology(16)
+    cfg = SimConfig(seed=2)
+    routing = DuatoAdaptiveRouting(topo)
+
+    def run():
+        adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(0))
+        pattern = make_pattern("uniform", 16 * cfg.hosts_per_switch)
+        return FlitLevelSimulator(topo, adapter, pattern, 0.2, cfg, engine="event").run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.delivered_measured > 0

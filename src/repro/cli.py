@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
     f10.add_argument("--seed", type=int, default=1)
     f10.add_argument("--workers", type=_workers, default=None,
                      help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    f10.add_argument("--engine", default="network", choices=["network", "flit"],
+                     dest="sim_engine",
+                     help="simulator: packet-level 'network' (default) or the "
+                          "flit-level credit/crossbar model (run loop via "
+                          "REPRO_FLIT_ENGINE)")
 
     sw = sub.add_parser(
         "sweep",
@@ -123,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--large-n", type=int, default=None, dest="large_n",
                        help="size of the out-of-process streaming-BFS gate "
                             "(default 65536, or 8192 with --quick; 0 skips it)")
+    bench.add_argument("--compare", nargs=2, default=None, metavar=("OLD", "NEW"),
+                       help="diff two BENCH_*.json files (per-stage speedup table "
+                            "and check regressions) instead of running the bench")
 
     th = sub.add_parser("theory", help="validate Section IV-C bounds")
     th.add_argument("--sizes", type=_sizes, default=(64, 100, 250, 1024))
@@ -237,7 +245,7 @@ def _cmd_fig10(args) -> None:
         warmup_ns=4000, measure_ns=12000, drain_ns=24000
     )
     curves = fig10(args.pattern, loads=args.loads, n=args.n, config=config, seed=args.seed,
-                   workers=args.workers)
+                   workers=args.workers, sim_engine=args.sim_engine)
     print(format_curves(curves, f"Figure 10 ({args.pattern})"))
     if len(args.loads) > 1:
         print()
@@ -421,8 +429,13 @@ def _cmd_claims(_args) -> None:
 
 
 def _cmd_bench(args) -> None:
-    from repro.experiments.bench import run_bench
+    from repro.experiments.bench import compare_bench, run_bench
 
+    if args.compare is not None:
+        if not compare_bench(args.compare[0], args.compare[1]):
+            print("\nbenchmark compare found regressions", file=sys.stderr)
+            sys.exit(1)
+        return
     ok = run_bench(quick=args.quick, out=args.out, workers=args.workers, tier1=args.tier1,
                    large_n=args.large_n)
     if not ok:

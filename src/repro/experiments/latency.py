@@ -15,7 +15,14 @@ import numpy as np
 from repro import store
 from repro.experiments.sweeps import PAPER_TRIO, make_topology
 from repro.routing import DuatoAdaptiveRouting
-from repro.sim import AdaptiveEscapeAdapter, NetworkSimulator, SimConfig, SimResult, dsn_custom_adapter
+from repro.sim import (
+    AdaptiveEscapeAdapter,
+    FlitLevelSimulator,
+    NetworkSimulator,
+    SimConfig,
+    SimResult,
+    dsn_custom_adapter,
+)
 from repro.traffic import make_pattern
 from repro.util import format_table
 from repro.util.parallel import parallel_map
@@ -112,8 +119,15 @@ def _curve_point(args: tuple) -> SimResult:
     within each process, and the whole point result goes through
     :mod:`repro.store` -- a previously simulated point (this process,
     an earlier sweep, or another worker via ``REPRO_STORE_DIR``) is
-    served from the store bit-identically instead of re-run."""
-    kind, pattern_name, load, n, cfg, seed, routing = args
+    served from the store bit-identically instead of re-run.
+
+    ``args`` is ``(kind, pattern, load, n, cfg, seed, routing)`` plus an
+    optional trailing ``sim_engine``: ``"network"`` (packet-level,
+    default) or ``"flit"`` (flit-level; the run loop comes from
+    ``REPRO_FLIT_ENGINE`` and never affects the store key -- both loops
+    are bit-identical and share entries)."""
+    kind, pattern_name, load, n, cfg, seed, routing = args[:7]
+    sim_engine = args[7] if len(args) > 7 else "network"
     topo = _sim_topology(kind, n, seed, routing)
 
     def compute() -> SimResult:
@@ -128,13 +142,17 @@ def _curve_point(args: tuple) -> SimResult:
             else {}
         )
         pattern = make_pattern(pattern_name, num_hosts, **pattern_kwargs)
-        sim = NetworkSimulator(topo, _make_adapter(topo, routing, cfg, rng), pattern, load, cfg)
+        adapter = _make_adapter(topo, routing, cfg, rng)
+        if sim_engine == "flit":
+            sim = FlitLevelSimulator(topo, adapter, pattern, load, cfg)
+        else:
+            sim = NetworkSimulator(topo, adapter, pattern, load, cfg)
         return sim.run()
 
     if not store.store_enabled():
         return compute()
     key = store.sim_run_key(
-        topo, routing, pattern_name, load, cfg, seed, engine="network"
+        topo, routing, pattern_name, load, cfg, seed, engine=sim_engine
     )
     return store.cached_sim(key, compute)
 
@@ -149,10 +167,14 @@ def run_curve(
     custom_routing: bool = False,
     routing: str = "adaptive",
     workers: int | None = None,
+    sim_engine: str = "network",
 ) -> LatencyCurve:
     """Simulate one topology kind under one pattern across loads.
 
-    ``routing`` selects the scheme:
+    ``sim_engine`` picks the simulator: ``"network"`` (packet-level,
+    default) or ``"flit"`` (flit-level credit/crossbar model; its run
+    loop follows ``REPRO_FLIT_ENGINE``). ``routing`` selects the
+    scheme:
 
     * ``"adaptive"`` -- minimal-adaptive + up*/down* escape (the paper's
       Section VII configuration, default);
@@ -178,7 +200,7 @@ def run_curve(
     curve = LatencyCurve(topology=topo.name, pattern=pattern_name)
     curve.points = store.dedup_map(
         _curve_point,
-        [(kind, pattern_name, load, n, cfg, seed, routing) for load in loads],
+        [(kind, pattern_name, load, n, cfg, seed, routing, sim_engine) for load in loads],
         workers=workers,
     )
     return curve
@@ -192,6 +214,7 @@ def fig10(
     seed: int = 0,
     kinds: tuple[str, ...] = PAPER_TRIO,
     workers: int | None = None,
+    sim_engine: str = "network",
 ) -> list[LatencyCurve]:
     """One Fig. 10 subplot: curves for torus, RANDOM and DSN.
 
@@ -199,11 +222,12 @@ def fig10(
     :func:`repro.store.dedup_map`, so a worker pool stays busy across
     the whole subplot instead of draining per curve, identical points
     run once, and a warm re-run against a populated ``REPRO_STORE_DIR``
-    serves every point from the store.
+    serves every point from the store. ``sim_engine`` picks the
+    simulator as in :func:`run_curve`.
     """
     cfg = config or SimConfig()
     jobs = [
-        (kind, pattern_name, load, n, cfg, seed, "adaptive")
+        (kind, pattern_name, load, n, cfg, seed, "adaptive", sim_engine)
         for kind in kinds
         for load in loads
     ]

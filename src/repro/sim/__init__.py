@@ -27,8 +27,8 @@ from repro.sim.adapters import (
     dsn_custom_adapter,
 )
 from repro.sim.arrivals import PoissonGaps
-from repro.sim.config import SimConfig
-from repro.sim.engine import EventQueue
+from repro.sim.config import FLIT_ENGINES, SimConfig, resolve_flit_engine
+from repro.sim.engine import CycleEventQueue, EventQueue
 from repro.sim.flitsim import FlitLevelSimulator
 from repro.sim.metrics import SimResult
 from repro.sim.network import NetworkSimulator
@@ -43,6 +43,9 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "EventQueue",
+    "CycleEventQueue",
+    "FLIT_ENGINES",
+    "resolve_flit_engine",
     "Packet",
     "OutPort",
     "PoissonGaps",

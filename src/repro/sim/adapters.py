@@ -79,39 +79,71 @@ class AdaptiveEscapeAdapter(RoutingAdapter):
         self.rng = rng
         self.escape_only = escape_only  #: pure up*/down* (the paper's baseline routing)
         self._adaptive_vcs = tuple(range(1, num_vcs))
+        # Option objects are deterministic per (switch, dst[, down_only])
+        # -- only their *order* is randomized per call -- so they are
+        # built once and reordered per draw. Callers must treat the
+        # returned sequences as read-only (every simulator does: options
+        # are only iterated). The caches die with the adapter, which
+        # fault rerouting rebuilds from scratch.
+        self._esc_cache: dict[tuple[int, int, bool], list[SimOption]] = {}
+        self._adp_cache: dict[tuple[int, int], tuple[tuple[SimOption, ...], list[SimOption]]] = {}
 
     def initial_state(self, src_switch: int, dst_switch: int) -> Any:
         return ("escape", False) if self.escape_only else ("adaptive", False)
 
+    def _escape_options(
+        self, switch: int, dst_switch: int, down_only: bool, vcs: tuple[int, ...]
+    ) -> list[SimOption]:
+        out = [
+            SimOption(v, vcs, ("escape", nxt_down))
+            for v, nxt_down in self.routing.updown.next_hops(
+                switch, dst_switch, down_only=down_only
+            )
+        ]
+        if not out:
+            raise AssertionError(
+                f"no up*/down* option from {switch} to {dst_switch} (down_only={down_only})"
+            )
+        return out
+
     def options(self, switch: int, dst_switch: int, rstate: Any) -> list[SimOption]:
         mode, down_only = rstate
-        out: list[SimOption] = []
         if self.escape_only:
             # Pure up*/down* on all VCs (the legality, not the VC, is
             # what makes up*/down* deadlock-free).
-            all_vcs = tuple(range(self.num_vcs))
-            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=down_only):
-                out.append(SimOption(v, all_vcs, ("escape", nxt_down)))
-            if not out:
-                raise AssertionError(
-                    f"no up*/down* option from {switch} to {dst_switch} (down_only={down_only})"
-                )
+            key = (switch, dst_switch, down_only)
+            out = self._esc_cache.get(key)
+            if out is None:
+                all_vcs = tuple(range(self.num_vcs))
+                out = self._escape_options(switch, dst_switch, down_only, all_vcs)
+                self._esc_cache[key] = out
             return out
         if mode == "adaptive":
-            minimal = self.routing.table.next_hops_array(switch, dst_switch)
-            order = self.rng.permutation(len(minimal)) if len(minimal) > 1 else range(len(minimal))
-            for i in order:
-                out.append(SimOption(int(minimal[int(i)]), self._adaptive_vcs, ("adaptive", False)))
-            # Escape fallback: fresh up*/down* from this switch.
-            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=False):
-                out.append(SimOption(v, (_ESCAPE_VC,), ("escape", nxt_down)))
-        else:
-            for v, nxt_down in self.routing.updown.next_hops(switch, dst_switch, down_only=down_only):
-                out.append(SimOption(v, (_ESCAPE_VC,), ("escape", nxt_down)))
-        if not out:
-            raise AssertionError(
-                f"no routing option from {switch} to {dst_switch} in state {rstate}"
-            )
+            cached = self._adp_cache.get((switch, dst_switch))
+            if cached is None:
+                minimal = self.routing.table.next_hops_array(switch, dst_switch)
+                adaptive = tuple(
+                    SimOption(int(m), self._adaptive_vcs, ("adaptive", False))
+                    for m in minimal
+                )
+                # Escape fallback: fresh up*/down* from this switch.
+                escape = self._escape_options(switch, dst_switch, False, (_ESCAPE_VC,))
+                cached = (adaptive, escape)
+                self._adp_cache[(switch, dst_switch)] = cached
+            adaptive, escape = cached
+            if len(adaptive) > 1:
+                # The per-call randomization: same draw, same order as
+                # permuting the raw next-hop array.
+                out = [adaptive[i] for i in self.rng.permutation(len(adaptive))]
+            else:
+                out = list(adaptive)
+            out.extend(escape)
+            return out
+        key = (switch, dst_switch, down_only)
+        out = self._esc_cache.get(key)
+        if out is None:
+            out = self._escape_options(switch, dst_switch, down_only, (_ESCAPE_VC,))
+            self._esc_cache[key] = out
         return out
 
 

@@ -14,11 +14,30 @@ Defaults reproduce the paper's setup exactly:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.util import check_positive
 
-__all__ = ["SimConfig"]
+__all__ = ["SimConfig", "FLIT_ENGINES", "resolve_flit_engine"]
+
+#: Run-loop implementations of the flit-level simulator. Both produce
+#: bit-identical results (the contract tests/test_sim_flit.py pins);
+#: ``event`` visits only cycles that can change state, ``cycle`` is the
+#: linear reference scan.
+FLIT_ENGINES = ("event", "cycle")
+
+
+def resolve_flit_engine(engine: str | None = None) -> str:
+    """The flit run-loop to use: explicit argument, else the
+    ``REPRO_FLIT_ENGINE`` environment variable, else ``event``."""
+    eng = engine if engine is not None else os.environ.get("REPRO_FLIT_ENGINE", "event")
+    eng = eng.strip().lower()
+    if eng not in FLIT_ENGINES:
+        raise ValueError(
+            f"unknown flit engine {eng!r} (REPRO_FLIT_ENGINE): expected one of {FLIT_ENGINES}"
+        )
+    return eng
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,17 @@
-"""Discrete-event core: a deterministic binary-heap event queue.
+"""Discrete-event core: deterministic binary-heap event queues.
 
 Events at equal timestamps pop in scheduling order (a monotone sequence
 number breaks ties), so runs with the same seed replay identically --
 a hard requirement for debugging network deadlocks.
+
+Two queues share that contract:
+
+* :class:`EventQueue` -- float-time callback events; drives the
+  packet-level :class:`~repro.sim.network.NetworkSimulator`.
+* :class:`CycleEventQueue` -- integer-cycle events for the flit
+  engine's event-driven core: deduplicated bare *wakes* ("visit this
+  cycle") plus FIFO-ordered payload events (fault activations), in one
+  heap keyed by ``(cycle, seq)``.
 """
 
 from __future__ import annotations
@@ -10,7 +19,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-__all__ = ["EventQueue"]
+__all__ = ["EventQueue", "CycleEventQueue"]
 
 
 class EventQueue:
@@ -46,5 +55,101 @@ class EventQueue:
             callback(*args)
         self.now = max(self.now, min(until, self._heap[0][0]) if self._heap else until)
 
+    def run_phases(
+        self,
+        first: float,
+        horizon: float,
+        step: float,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run to ``first``, then advance in ``step`` chunks up to
+        ``horizon``, breaking early once ``stop()`` holds between
+        chunks (the shared warmup+measure / stepped-drain idiom)."""
+        t = first
+        self.run(until=t)
+        while t < horizon:
+            if stop is not None and stop():
+                break
+            t = min(t + step, horizon)
+            self.run(until=t)
+
     def peek_time(self) -> float | None:
         return self._heap[0][0] if self._heap else None
+
+
+class CycleEventQueue:
+    """Integer-cycle event heap with deterministic FIFO tie-breaking.
+
+    Serves the flit engine's event-driven run loop with two event
+    flavors in one ``(cycle, seq)``-keyed heap:
+
+    * ``wake(cycle)`` -- a bare "this cycle needs a visit" marker,
+      deduplicated per cycle (router-pipeline completions schedule many
+      wakes for the same cycle);
+    * ``schedule(cycle, payload)`` -- a payload event (a fault
+      activation); equal-cycle payloads pop in scheduling order.
+
+    ``peek(not_before)`` lazily discards bare wakes that a full tick
+    already visited, so stale wakes cost one heap pop, never a scan.
+    """
+
+    __slots__ = ("_heap", "_wake_cycles", "_seq", "_payloads")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._wake_cycles: set[int] = set()
+        self._seq = 0
+        self._payloads = 0  #: scheduled-but-unpopped payload events
+
+    def wake(self, cycle: int) -> None:
+        """Request a visit of ``cycle`` (idempotent per cycle)."""
+        if cycle not in self._wake_cycles:
+            self._wake_cycles.add(cycle)
+            heapq.heappush(self._heap, (cycle, self._seq, None))
+            self._seq += 1
+
+    def schedule(self, cycle: int, payload: Any) -> None:
+        """Schedule a payload event at ``cycle`` (FIFO among equals)."""
+        heapq.heappush(self._heap, (cycle, self._seq, payload))
+        self._seq += 1
+        self._payloads += 1
+
+    @property
+    def payloads_pending(self) -> int:
+        return self._payloads
+
+    def pop_due(self, cycle: int) -> list[Any]:
+        """Payloads due at or before ``cycle``, in ``(cycle, seq)``
+        order; due bare wakes are consumed silently."""
+        out: list[Any] = []
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            due, _, payload = heapq.heappop(heap)
+            if payload is None:
+                self._wake_cycles.discard(due)
+            else:
+                self._payloads -= 1
+                out.append(payload)
+        return out
+
+    def peek(self, not_before: int) -> int | None:
+        """Earliest event cycle ``>= not_before``, dropping stale bare
+        wakes; ``None`` when nothing relevant remains. A payload event
+        below ``not_before`` is a contract violation (payloads must be
+        popped by the tick that reaches them) and is surfaced, not
+        skipped."""
+        heap = self._heap
+        while heap:
+            due, _, payload = heap[0]
+            if due >= not_before:
+                return due
+            if payload is not None:
+                raise RuntimeError(
+                    f"payload event at cycle {due} was jumped over (now >= {not_before})"
+                )
+            heapq.heappop(heap)
+            self._wake_cycles.discard(due)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)

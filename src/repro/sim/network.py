@@ -336,14 +336,12 @@ class NetworkSimulator:
             self._schedule_next_arrival(host)
         horizon = self._measure_end + self.cfg.drain_ns
         # Stop early once every measured packet has drained.
-        step = max(self.cfg.measure_ns / 10.0, 1000.0)
-        t = self._measure_end
-        self.eq.run(until=t)
-        while t < horizon:
-            if self._result.delivered_measured >= self._result.generated_measured:
-                break
-            t = min(t + step, horizon)
-            self.eq.run(until=t)
+        self.eq.run_phases(
+            self._measure_end,
+            horizon,
+            step=max(self.cfg.measure_ns / 10.0, 1000.0),
+            stop=lambda: self._result.delivered_measured >= self._result.generated_measured,
+        )
         if self._sampler is not None:
             self._result.telemetry = self._sampler.finalize("sim.event")
             self._result.telemetry["samples"] = self._sampler.records()

@@ -20,6 +20,7 @@ from repro.store.codec import CODEC_VERSION, decode_result, encode_result
 from repro.store.keys import (
     RunKey,
     config_fingerprint,
+    normalize_engine,
     run_key,
     schedule_fingerprint,
     sim_run_key,
@@ -53,6 +54,7 @@ __all__ = [
     "get",
     "get_or_run",
     "put",
+    "normalize_engine",
     "reset_store_stats",
     "run_key",
     "schedule_fingerprint",

@@ -24,7 +24,14 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
-__all__ = ["RunKey", "run_key", "config_fingerprint", "schedule_fingerprint", "sim_run_key"]
+__all__ = [
+    "RunKey",
+    "run_key",
+    "config_fingerprint",
+    "schedule_fingerprint",
+    "normalize_engine",
+    "sim_run_key",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,24 @@ def schedule_fingerprint(schedule) -> list | None:
     ]
 
 
+def normalize_engine(engine: str) -> str:
+    """Collapse engine spellings that are bit-identical by contract.
+
+    The flit simulator's run loops (``REPRO_FLIT_ENGINE=event|cycle``)
+    produce byte-identical results -- the contract
+    ``tests/test_sim_flit.py`` pins -- so the run loop must never reach
+    a key: ``"flit"``, ``"flit:event"``, ``"flit:cycle"`` (any
+    ``flit``-prefixed spelling) all address the same stored entry, and
+    a point simulated under either loop is served to both.
+    ``"network"`` (the packet-level simulator) stays distinct; it is a
+    different model with different results.
+    """
+    eng = engine.strip().lower()
+    if eng.startswith("flit"):
+        return "flit"
+    return eng
+
+
 def sim_run_key(
     topo,
     routing: str,
@@ -100,9 +125,11 @@ def sim_run_key(
     ``topo`` is the topology actually simulated (its fingerprint covers
     kind, n and construction seed); ``seed`` is the experiment seed the
     per-point RNG derives from; ``engine`` distinguishes the
-    event-driven and flit-level engines, whose results differ by
-    design. ``extra`` admits caller-specific fields (e.g. a pattern
-    kwarg) without widening this signature.
+    packet-level and flit-level simulators, whose results differ by
+    design -- but not the flit simulator's run loops, which are
+    bit-identical and share entries (see :func:`normalize_engine`).
+    ``extra`` admits caller-specific fields (e.g. a pattern kwarg)
+    without widening this signature.
     """
     from repro.cache import topology_fingerprint
 
@@ -113,7 +140,7 @@ def sim_run_key(
         "load": float(offered_gbps),
         "config": config_fingerprint(config),
         "seed": int(seed),
-        "engine": engine,
+        "engine": normalize_engine(engine),
         "buffer_flits": None if buffer_flits is None else int(buffer_flits),
         "faults": schedule_fingerprint(schedule),
     }

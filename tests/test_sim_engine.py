@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import EventQueue, OutPort, Packet
+from repro.sim import CycleEventQueue, EventQueue, OutPort, Packet
 
 
 class TestEventQueue:
@@ -102,3 +102,64 @@ class TestPacket:
 
     def test_repr(self):
         assert "Packet 0" in repr(_mk_packet())
+
+
+class TestCycleEventQueue:
+    """The integer-cycle heap behind the flit simulator's event loop."""
+
+    def test_payloads_pop_in_cycle_then_fifo_order(self):
+        q = CycleEventQueue()
+        q.schedule(7, "late")
+        q.schedule(3, "first")
+        q.schedule(3, "second")
+        assert q.payloads_pending == 3
+        assert q.pop_due(3) == ["first", "second"]
+        assert q.payloads_pending == 1
+        assert q.pop_due(10) == ["late"]
+        assert q.payloads_pending == 0
+
+    def test_wakes_are_deduplicated_per_cycle(self):
+        q = CycleEventQueue()
+        for _ in range(5):
+            q.wake(12)
+        assert len(q) == 1
+        q.wake(13)
+        assert len(q) == 2
+        # A consumed wake cycle can be re-armed afterwards.
+        assert q.pop_due(12) == []
+        q.wake(12)
+        assert q.peek(0) == 12
+
+    def test_pop_due_consumes_wakes_silently(self):
+        q = CycleEventQueue()
+        q.wake(4)
+        q.schedule(4, "payload")
+        assert q.pop_due(4) == ["payload"]
+        assert len(q) == 0
+
+    def test_peek_skips_stale_wakes(self):
+        q = CycleEventQueue()
+        q.wake(2)
+        q.wake(5)
+        q.wake(9)
+        assert q.peek(6) == 9  # 2 and 5 dropped lazily
+        assert len(q) == 1
+
+    def test_peek_does_not_consume_future_events(self):
+        q = CycleEventQueue()
+        q.schedule(8, "x")
+        assert q.peek(0) == 8
+        assert q.peek(8) == 8
+        assert q.pop_due(8) == ["x"]
+
+    def test_jumped_payload_is_an_error(self):
+        q = CycleEventQueue()
+        q.schedule(5, "must-not-skip")
+        with pytest.raises(RuntimeError, match="jumped"):
+            q.peek(6)
+
+    def test_empty_queue(self):
+        q = CycleEventQueue()
+        assert q.peek(0) is None
+        assert q.pop_due(100) == []
+        assert len(q) == 0

@@ -1,4 +1,8 @@
-"""Tests for the cycle-driven flit-level reference simulator."""
+"""Tests for the flit-level simulator: model behavior, plus the
+bit-identity contract between its event-driven run loop (default) and
+the linear cycle scan it replaced."""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -17,11 +21,14 @@ from repro.traffic import make_pattern
 CFG = SimConfig(warmup_ns=2000, measure_ns=6000, drain_ns=12000, seed=3)
 
 
-def run_flit(topo, load, buffer_flits=None, cfg=CFG, seed=0, pattern="uniform"):
+def run_flit(topo, load, buffer_flits=None, cfg=CFG, seed=0, pattern="uniform",
+             engine=None):
     routing = DuatoAdaptiveRouting(topo)
     adapter = AdaptiveEscapeAdapter(routing, cfg.num_vcs, np.random.default_rng(seed))
     pat = make_pattern(pattern, topo.n * cfg.hosts_per_switch)
-    return FlitLevelSimulator(topo, adapter, pat, load, cfg, buffer_flits=buffer_flits).run()
+    return FlitLevelSimulator(
+        topo, adapter, pat, load, cfg, buffer_flits=buffer_flits, engine=engine
+    ).run()
 
 
 def run_event(topo, load, cfg=CFG, seed=0, pattern="uniform"):
@@ -114,7 +121,11 @@ class TestFastForward:
         routing = DuatoAdaptiveRouting(topo)
         adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
         pat = make_pattern(pattern, topo.n * CFG.hosts_per_switch)
-        sim = FlitLevelSimulator(topo, adapter, pat, load, CFG, buffer_flits=buffer_flits)
+        # The fast-forward flag only concerns the linear cycle scan;
+        # the event engine never visits idle cycles in the first place.
+        sim = FlitLevelSimulator(
+            topo, adapter, pat, load, CFG, buffer_flits=buffer_flits, engine="cycle"
+        )
         sim._fast_forward = ff
         return sim.run(), sim._ff_cycles_skipped
 
@@ -144,3 +155,210 @@ class TestFastForward:
 
     def test_fast_forward_is_default(self):
         assert FlitLevelSimulator._fast_forward is True
+
+
+def _as_dict(result):
+    """Every SimResult field (nested dataclasses included) for exact
+    byte-for-byte comparison."""
+    return dataclasses.asdict(result)
+
+
+class TestEngineEquivalence:
+    """The tentpole contract: the event-driven run loop must produce
+    byte-identical SimResults to the linear cycle scan across the whole
+    configuration matrix -- loads from near-zero to saturation, VCT and
+    wormhole, mid-run faults, telemetry sampling, and tracing."""
+
+    @staticmethod
+    def _pair(load, buffer_flits=None, pattern="uniform", cfg=CFG, seed=0, **kw):
+        topo = DSNTopology(16)
+
+        def run(engine):
+            routing = DuatoAdaptiveRouting(topo)
+            adapter = AdaptiveEscapeAdapter(
+                routing, cfg.num_vcs, np.random.default_rng(seed)
+            )
+            pat = make_pattern(pattern, topo.n * cfg.hosts_per_switch)
+            return FlitLevelSimulator(
+                topo, adapter, pat, load, cfg,
+                buffer_flits=buffer_flits, engine=engine, **kw,
+            ).run()
+
+        return run("cycle"), run("event")
+
+    @pytest.mark.parametrize("load", [0.05, 0.5, 2.0, 8.0])
+    def test_bit_identical_vct(self, load):
+        cyc, evt = self._pair(load)
+        assert _as_dict(cyc) == _as_dict(evt)
+
+    @pytest.mark.parametrize("load", [0.5, 4.0])
+    def test_bit_identical_wormhole(self, load):
+        cyc, evt = self._pair(load, buffer_flits=4)
+        assert _as_dict(cyc) == _as_dict(evt)
+
+    def test_bit_identical_nonuniform_pattern(self):
+        cyc, evt = self._pair(2.0, pattern="neighboring")
+        assert _as_dict(cyc) == _as_dict(evt)
+
+    def test_bit_identical_zero_traffic(self):
+        """A horizon with no measured deliveries still terminates the
+        same way (drain probes are events too)."""
+        cyc, evt = self._pair(0.001)
+        assert _as_dict(cyc) == _as_dict(evt)
+
+    def test_bit_identical_with_midrun_faults(self):
+        from repro.faults import adaptive_escape_factory, random_link_schedule
+
+        topo = DSNTopology(32)
+        sched = random_link_schedule(topo, [3000.0, 5000.0], 0.04, seed=11)
+        factory = adaptive_escape_factory(CFG)
+        pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+
+        def run(engine):
+            return FlitLevelSimulator(
+                topo, factory(topo), pat, 4.0, CFG,
+                fault_schedule=sched, adapter_factory=factory, engine=engine,
+            ).run()
+
+        cyc, evt = run("cycle"), run("event")
+        d_cyc, d_evt = _as_dict(cyc), _as_dict(evt)
+        for d in (d_cyc, d_evt):
+            for record in d["fault_records"]:
+                # Wall-clock self-measurement of the adapter rebuild;
+                # everything simulated must still match exactly.
+                record.pop("reroute_wall_s")
+        assert d_cyc == d_evt
+        assert cyc.fault_records  # the schedule actually fired
+
+    def test_bit_identical_with_sampler(self):
+        from repro import telemetry
+
+        was = telemetry.enabled()
+        telemetry.enable()
+        try:
+            cyc, evt = self._pair(2.0)
+        finally:
+            if not was:
+                telemetry.disable()
+        assert cyc.telemetry  # sampler actually attached
+        d_cyc, d_evt = _as_dict(cyc), _as_dict(evt)
+        # Wall-clock self-measurements legitimately differ between runs.
+        for d in (d_cyc, d_evt):
+            d["telemetry"] = {
+                k: v for k, v in d["telemetry"].items() if "wall" not in k
+            }
+        assert d_cyc == d_evt
+
+    def test_bit_identical_with_tracer(self):
+        from repro.sim.trace import TraceRecorder
+
+        traces = {}
+
+        def run(engine):
+            topo = DSNTopology(16)
+            routing = DuatoAdaptiveRouting(topo)
+            adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+            pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+            tracer = TraceRecorder()
+            res = FlitLevelSimulator(
+                topo, adapter, pat, 2.0, CFG, tracer=tracer, engine=engine
+            ).run()
+            traces[engine] = tracer.events
+            return res
+
+        cyc, evt = run("cycle"), run("event")
+        assert _as_dict(cyc) == _as_dict(evt)
+        assert traces["cycle"] == traces["event"]
+
+    def test_bit_identical_cycle_without_fast_forward(self):
+        """The event engine matches the plain linear scan too, not just
+        the fast-forwarding one."""
+        topo = DSNTopology(16)
+
+        def run(engine, ff):
+            routing = DuatoAdaptiveRouting(topo)
+            adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+            pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+            sim = FlitLevelSimulator(topo, adapter, pat, 0.5, CFG, engine=engine)
+            sim._fast_forward = ff
+            return sim.run()
+
+        assert _as_dict(run("cycle", False)) == _as_dict(run("event", True))
+
+
+class TestEngineSelection:
+    def test_default_is_event(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLIT_ENGINE", raising=False)
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+        pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+        assert FlitLevelSimulator(topo, adapter, pat, 1.0, CFG).engine == "event"
+
+    def test_env_selects_cycle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIT_ENGINE", "cycle")
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+        pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+        assert FlitLevelSimulator(topo, adapter, pat, 1.0, CFG).engine == "cycle"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIT_ENGINE", "cycle")
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+        pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+        sim = FlitLevelSimulator(topo, adapter, pat, 1.0, CFG, engine="event")
+        assert sim.engine == "event"
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIT_ENGINE", "warp")
+        topo = DSNTopology(16)
+        routing = DuatoAdaptiveRouting(topo)
+        adapter = AdaptiveEscapeAdapter(routing, CFG.num_vcs, np.random.default_rng(0))
+        pat = make_pattern("uniform", topo.n * CFG.hosts_per_switch)
+        with pytest.raises(ValueError, match="REPRO_FLIT_ENGINE"):
+            FlitLevelSimulator(topo, adapter, pat, 1.0, CFG)
+
+    def test_env_default_and_override_agree_bitwise(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIT_ENGINE", "cycle")
+        via_env = run_flit(DSNTopology(16), 1.0)
+        monkeypatch.delenv("REPRO_FLIT_ENGINE")
+        via_default = run_flit(DSNTopology(16), 1.0)
+        assert _as_dict(via_env) == _as_dict(via_default)
+
+
+class TestBusyUnits:
+    """The incremental sorted busy set must track a plain sorted set
+    exactly under any interleaving of adds and discards."""
+
+    def test_matches_reference_under_random_ops(self):
+        from repro.sim.flitsim import _BusyUnits
+
+        rng = np.random.default_rng(42)
+        busy = _BusyUnits()
+        ref: set[int] = set()
+        for _ in range(3000):
+            uid = int(rng.integers(0, 64))
+            if rng.random() < 0.55:
+                busy.add(uid)
+                ref.add(uid)
+            else:
+                busy.discard(uid)
+                ref.discard(uid)
+            assert bool(busy) == bool(ref)
+        assert list(busy.snapshot()) == sorted(ref)
+        assert list(busy) == sorted(ref)
+
+    def test_snapshot_is_stable_while_mutating(self):
+        from repro.sim.flitsim import _BusyUnits
+
+        busy = _BusyUnits()
+        for uid in (5, 1, 9):
+            busy.add(uid)
+        snap = busy.snapshot()
+        busy.discard(1)
+        busy.add(7)
+        assert list(snap) == [1, 5, 9]  # the iteration copy is immutable
+        assert list(busy.snapshot()) == [5, 7, 9]

@@ -135,6 +135,38 @@ class TestKeys:
         assert base.digest not in digests
         assert len(digests) == len(variants)
 
+    def test_engine_normalization_collapses_flit_spellings(self):
+        assert store.normalize_engine("flit") == "flit"
+        assert store.normalize_engine("flit:event") == "flit"
+        assert store.normalize_engine("flit:cycle") == "flit"
+        assert store.normalize_engine(" Flit ") == "flit"
+        # The packet-level simulator stays its own namespace.
+        assert store.normalize_engine("network") == "network"
+
+    def test_sim_key_shared_across_flit_run_loops(self):
+        """The flit run loops are bit-identical by contract, so they must
+        address the same stored entry; the packet-level sim must not."""
+        cfg = SimConfig(seed=3)
+        topo = DSNTopology(16)
+        keys = [
+            store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1, engine=e)
+            for e in ("flit", "flit:event", "flit:cycle")
+        ]
+        assert len({k.digest for k in keys}) == 1
+        net = store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1)
+        assert net.digest != keys[0].digest
+
+    def test_warm_hit_served_across_flit_engines(self):
+        """A point stored under one flit spelling is a hit under any other."""
+        cfg = SimConfig(seed=3)
+        topo = DSNTopology(16)
+        key_a = store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1, engine="flit:cycle")
+        store.cached_value(key_a, lambda: {"v": 7})
+        store.reset_store_stats()
+        key_b = store.sim_run_key(topo, "adaptive", "uniform", 2.0, cfg, 1, engine="flit:event")
+        assert store.cached_value(key_b, lambda: {"v": -1}) == {"v": 7}
+        assert store.store_stats().memory_hits == 1
+
     def test_schedule_fingerprint_ignores_labels(self):
         from repro.faults import FaultSchedule, FaultSet
         from repro.faults.schedule import FaultEvent
