@@ -19,6 +19,9 @@ regenerated without writing code:
   claims       machine-checked scorecard of every quantitative claim
   bench        benchmark smoke: timed sweep + cache/engine regression gate
   telemetry    run any subcommand with telemetry on, then export/summarize
+  serve        HTTP daemon answering queries from the run store
+  loadtest     replay a zipf-skewed query mix against the daemon
+  store        run-store maintenance (migrate between shard layouts)
 = =========== =====================================================
 """
 
@@ -190,6 +193,77 @@ def build_parser() -> argparse.ArgumentParser:
                      help="in-sim sampling interval (REPRO_TELEMETRY_INTERVAL_NS)")
     tel.add_argument("inner", nargs=argparse.REMAINDER, metavar="command ...",
                      help="the subcommand (plus its arguments) to run instrumented")
+
+    srv = sub.add_parser(
+        "serve",
+        help="HTTP daemon answering queries from the run store",
+        description="Serve topology-metric and latency-curve queries over HTTP "
+                    "(endpoints: /v1/latency, /v1/topology, /healthz, /metrics, "
+                    "/stats). Warm hits come straight from the store "
+                    "(REPRO_STORE_DIR); misses coalesce and fill through a "
+                    "bounded worker pool; a saturated queue answers 429. "
+                    "Runs until SIGTERM/SIGINT. See docs/serving.md.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8351,
+                     help="listen port (0 = ephemeral, announced on stdout)")
+    srv.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                     help="serve from DIR (sets REPRO_STORE_DIR)")
+    srv.add_argument("--fill-workers", type=_workers, default=1, dest="fill_workers",
+                     help="parallel_map workers for miss fills (default 1)")
+    srv.add_argument("--queue-limit", type=int, default=64, dest="queue_limit",
+                     help="pending miss jobs before 429 (default 64)")
+    srv.add_argument("--fill-batch", type=int, default=8, dest="fill_batch",
+                     help="max jobs per fill batch (default 8)")
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="replay a zipf-skewed query mix against the serve daemon",
+        description="Measure daemon latency under a deterministic zipfian query "
+                    "mix: warm/miss p50/p99 split by the X-Repro-Source header, "
+                    "plus sustained throughput. --spawn runs its own daemon "
+                    "child (and asserts a clean SIGTERM exit); --populate "
+                    "computes every distinct query in-process first so the "
+                    "replay is warm. See docs/serving.md.",
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=int, default=8351)
+    lt.add_argument("--spawn", action="store_true",
+                    help="spawn a daemon child for the test (SIGTERM on exit)")
+    lt.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                    help="store directory for --populate / the spawned daemon")
+    lt.add_argument("--requests", type=int, default=200)
+    lt.add_argument("--concurrency", type=int, default=8)
+    lt.add_argument("--skew", type=float, default=1.1,
+                    help="zipf exponent of the hot-key mix (0 = uniform)")
+    lt.add_argument("--seed", type=int, default=0, help="mix sampling seed")
+    lt.add_argument("--n", type=int, default=16,
+                    help="network size of the stock candidate queries")
+    lt.add_argument("--populate", action="store_true",
+                    help="compute every distinct query in-process before replaying")
+    lt.add_argument("--out", default=None, metavar="PATH",
+                    help="write the report as JSON")
+    lt.add_argument("--require-hit-rate", type=float, default=None,
+                    dest="require_hit_rate", metavar="RATE",
+                    help="fail unless warm hit rate >= RATE (CI gate)")
+    lt.add_argument("--require-zero-errors", action="store_true",
+                    dest="require_zero_errors",
+                    help="fail on any non-200 response (CI gate)")
+
+    st = sub.add_parser(
+        "store",
+        help="run-store maintenance",
+        description="Offline maintenance of the persistent run store "
+                    "(REPRO_STORE_DIR). 'migrate' re-homes every entry into "
+                    "the layout of --shards (default REPRO_STORE_SHARDS) with "
+                    "byte-identical renames and reaps stale lock files; "
+                    "'info' prints the layout and entry count.",
+    )
+    st.add_argument("action", choices=["migrate", "info"])
+    st.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                    help="the store to operate on (default REPRO_STORE_DIR)")
+    st.add_argument("--shards", type=int, default=None,
+                    help="target shard count (0 = flat legacy layout)")
 
     dia = sub.add_parser("diagram", help="draw a DSN's structure or a route")
     dia.add_argument("n", type=int)
@@ -475,6 +549,94 @@ def _cmd_telemetry(args) -> None:
         print(export.summary_table())
 
 
+def _cmd_serve(args) -> None:
+    import os
+
+    from repro.serve import ServeConfig, serve_forever
+
+    if args.store_dir:
+        # Env (not an API call) so pool workers inherit it.
+        os.environ["REPRO_STORE_DIR"] = args.store_dir
+    config = ServeConfig(
+        host=args.host, port=args.port, fill_workers=args.fill_workers,
+        queue_limit=args.queue_limit, fill_batch=args.fill_batch,
+    )
+    serve_forever(config)
+
+
+def _cmd_loadtest(args) -> None:
+    import contextlib
+    import json
+    import os
+
+    from repro import serve
+
+    if args.store_dir:
+        os.environ["REPRO_STORE_DIR"] = args.store_dir
+    candidates = serve.default_candidates(n=args.n)
+    mix = serve.build_mix(candidates, args.requests, skew=args.skew, seed=args.seed)
+    if args.populate:
+        n_unique = serve.populate(mix)
+        print(f"populated {n_unique} distinct queries")
+    spawned = None
+    if args.spawn:
+        spawn_args = ["--host", args.host]
+        if args.store_dir:
+            spawn_args += ["--store-dir", args.store_dir]
+        spawned = serve.spawn_daemon(spawn_args)
+    with spawned if spawned is not None else contextlib.nullcontext():
+        host = spawned.host if spawned else args.host
+        port = spawned.port if spawned else args.port
+        report = serve.run_loadtest(host, port, mix, concurrency=args.concurrency)
+    print(report.summary())
+    if spawned is not None:
+        verdict = "clean" if spawned.clean_exit else "UNCLEAN"
+        print(f"daemon shutdown on SIGTERM: {verdict} "
+              f"(rc={spawned.proc.returncode})")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    failures = []
+    if args.require_zero_errors and report.errors:
+        failures.append(f"{report.errors} error(s)")
+    if args.require_hit_rate is not None and report.warm_hit_rate < args.require_hit_rate:
+        failures.append(f"warm hit rate {report.warm_hit_rate:.3f} "
+                        f"< required {args.require_hit_rate:.3f}")
+    if spawned is not None and not spawned.clean_exit:
+        failures.append("daemon did not exit cleanly on SIGTERM")
+    if failures:
+        print("\nloadtest gate FAILED: " + "; ".join(failures), file=sys.stderr)
+        sys.exit(1)
+
+
+def _cmd_store(args) -> None:
+    import os
+
+    from repro import store
+    from repro.store import shards as store_shards_mod
+
+    d = args.store_dir or os.environ.get("REPRO_STORE_DIR", "").strip() or None
+    if d is None:
+        print("store: no directory (pass --store-dir or set REPRO_STORE_DIR)",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.action == "migrate":
+        report = store.migrate_store(d, shards=args.shards)
+        print(report.summary())
+        if not report.ok:
+            for err in report.errors:
+                print(f"  error: {err}", file=sys.stderr)
+            sys.exit(1)
+    else:  # info
+        layout = store_shards_mod.effective_shards(d)
+        entries = sum(1 for _ in store_shards_mod.iter_entry_paths(d))
+        stale = sum(1 for _ in store_shards_mod.iter_stale_locks(d))
+        print(f"{d}: layout={'flat' if layout <= 0 else f'{layout} shards'}, "
+              f"{entries} entries, {stale} stale lock(s)")
+
+
 def _cmd_diagram(args) -> None:
     from repro.core import DSNTopology, dsn_route
     from repro.viz import dsn_ring_diagram, route_diagram
@@ -519,6 +681,9 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "claims": _cmd_claims,
         "bench": _cmd_bench,
         "telemetry": _cmd_telemetry,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
+        "store": _cmd_store,
     }
     handlers[args.command](args)
 

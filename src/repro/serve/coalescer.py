@@ -1,0 +1,68 @@
+"""Request coalescing for the serving daemon.
+
+The store already coalesces *computes* (thread single-flight,
+per-entry locks, batch dedup -- :mod:`repro.store.runstore`); this
+module adds the missing asyncio layer above it: concurrent HTTP
+requests for the same key digest share one pending fill instead of
+each enqueueing their own job. The first requester of a digest is the
+*leader* (it enqueues the compute job); everyone who arrives while the
+future is pending is a *follower* and just awaits the same future.
+
+All methods run on the event loop thread, so a plain dict is race-free
+-- there is never an ``await`` between :meth:`claim` and the caller's
+enqueue decision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["QueueSaturated", "Coalescer"]
+
+
+class QueueSaturated(RuntimeError):
+    """The miss-fill queue is full; the caller should answer 429."""
+
+
+class Coalescer:
+    """Digest -> pending-result future; one fill per distinct query."""
+
+    def __init__(self) -> None:
+        self._futures: dict[str, asyncio.Future] = {}
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def claim(self, digest: str) -> tuple[asyncio.Future, bool]:
+        """Join the pending fill for ``digest``; returns ``(future,
+        leader)`` where ``leader`` is True for the requester that must
+        enqueue the compute job."""
+        fut = self._futures.get(digest)
+        if fut is not None:
+            return fut, False
+        fut = asyncio.get_running_loop().create_future()
+        self._futures[digest] = fut
+        return fut, True
+
+    def abandon(self, digest: str) -> None:
+        """Leader backed out before enqueueing (queue saturated): drop
+        the future. No follower can exist yet -- there was no ``await``
+        since :meth:`claim` -- so cancelling is silent."""
+        fut = self._futures.pop(digest, None)
+        if fut is not None and not fut.done():
+            fut.cancel()
+
+    def resolve(self, digest: str, result) -> None:
+        fut = self._futures.pop(digest, None)
+        if fut is not None and not fut.done():
+            fut.set_result(result)
+
+    def fail(self, digest: str, exc: BaseException) -> None:
+        fut = self._futures.pop(digest, None)
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+
+    def fail_all(self, exc: BaseException) -> None:
+        """Shutdown path: wake every waiter with ``exc``."""
+        for digest in list(self._futures):
+            self.fail(digest, exc)

@@ -8,7 +8,8 @@ sweeps) asks the store before running a point and publishes what it
 computed, so repeated figures, resumed sweeps and overlapping searches
 share work instead of repeating it -- the way cluster-comparison
 studies amortize thousands of near-identical evaluations across one
-campaign.
+campaign. The serving daemon (:mod:`repro.serve`) answers HTTP queries
+straight out of this store.
 
 Two tiers, mirroring :mod:`repro.cache`:
 
@@ -18,20 +19,39 @@ Two tiers, mirroring :mod:`repro.cache`:
   later hits;
 * an optional on-disk JSON tier under ``REPRO_STORE_DIR`` -- one
   human-auditable file per point (the canonical key payload is stored
-  beside the result), shared by worker processes and surviving the
-  process, which is what makes killed sweeps resumable.
+  beside the result), fanned out across ``REPRO_STORE_SHARDS``
+  prefix-keyed subdirectories (:mod:`repro.store.shards`; legacy flat
+  stores stay readable and ``python -m repro store migrate`` re-homes
+  them), shared by worker processes and surviving the process, which
+  is what makes killed sweeps resumable.
 
-Concurrency: disk writes are *atomic* (``mkstemp`` + ``os.replace``)
-and serialized per entry by an ``fcntl`` file lock, with a
-first-writer-wins existence check under the lock -- concurrent worker
-processes and concurrent sweeps can race on the same point without
-corrupting or duplicating entries. Within one batch, the in-flight
-dedup scheduler (:func:`dedup_map`) collapses identical points before
-they are dispatched, so duplicates run once even on the cold path.
+Concurrency, three layers deep:
 
-``REPRO_STORE=off`` bypasses both tiers entirely. Telemetry counters
-``store.hits`` / ``store.misses`` / ``store.bytes`` track traffic when
-telemetry is enabled.
+* **Publish** is atomic (``mkstemp`` + ``os.replace``) and serialized
+  by a per-*shard* ``fcntl`` lock with a first-writer-wins existence
+  check -- concurrent workers never corrupt or duplicate an entry, and
+  writers on different shards never contend.
+* **Compute** is coalesced. Within a process, :func:`get_or_run` runs
+  a single-flight table: concurrent threads asking for the same key
+  wait for the first one's result instead of recomputing. Across
+  processes (disk tier on), the computing leader holds a per-entry
+  lock for the duration of the compute; a second process that misses
+  on the same key blocks on that lock, then re-reads the entry the
+  leader published -- exactly one compute per key, cluster-wide. The
+  per-entry lock file is *reaped* after a successful publish, so a
+  long campaign leaves no lock litter behind.
+* Within one batch, the in-flight dedup scheduler (:func:`dedup_map`)
+  collapses identical points before they are dispatched, so duplicates
+  run once even on the cold path.
+
+``REPRO_STORE=off`` bypasses both tiers entirely. Every
+:class:`StoreStats` field is mirrored into the telemetry registry
+(``store.memory_hits`` / ``store.disk_hits`` / ``store.misses`` /
+``store.stores`` / ``store.bytes_read`` / ``store.bytes_written`` /
+``store.inflight_dedup`` / ``store.thread_coalesced`` /
+``store.lock_waits``, plus the legacy ``store.hits`` / ``store.bytes``
+aggregates) when telemetry is enabled, so the daemon's ``/metrics``
+endpoint reports cache effectiveness for free.
 """
 
 from __future__ import annotations
@@ -45,13 +65,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import telemetry
+from repro.store import shards as _shards
 from repro.store.codec import decode_result, encode_result
 from repro.store.keys import RunKey
-
-try:  # POSIX file locking; Windows falls back to atomic-rename only.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platform
-    fcntl = None
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,15 +76,20 @@ __all__ = [
     "StoreStats",
     "store_enabled",
     "store_dir",
+    "store_shards",
     "store_stats",
     "reset_store_stats",
     "clear_store",
+    "disk_entry_path",
+    "find_disk_entry",
     "get",
+    "fetch",
     "put",
     "get_or_run",
     "cached_sim",
     "cached_value",
     "dedup_map",
+    "migrate_store",
 ]
 
 
@@ -83,6 +104,8 @@ class StoreStats:
     bytes_written: int = 0
     bytes_read: int = 0
     inflight_dedup: int = 0  #: duplicate points collapsed inside batches
+    thread_coalesced: int = 0  #: threads served by another thread's compute
+    lock_waits: int = 0  #: processes that waited out another's compute
 
     @property
     def hits(self) -> int:
@@ -97,12 +120,30 @@ class StoreStats:
         return StoreStats(
             self.memory_hits, self.disk_hits, self.misses, self.stores,
             self.bytes_written, self.bytes_read, self.inflight_dedup,
+            self.thread_coalesced, self.lock_waits,
         )
+
+    def as_dict(self) -> dict:
+        """Plain-JSON view (every field plus the derived aggregates)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stores": self.stores,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "inflight_dedup": self.inflight_dedup,
+            "thread_coalesced": self.thread_coalesced,
+            "lock_waits": self.lock_waits,
+        }
 
 
 _stats = StoreStats()
 _lock = threading.RLock()
 _memory: OrderedDict[str, str] = OrderedDict()  # digest -> encoded document
+_inflight: dict[str, threading.Event] = {}  # digest -> single-flight latch
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +158,11 @@ def store_dir() -> str | None:
     """Disk-tier directory (``REPRO_STORE_DIR``), or None for memory-only."""
     d = os.environ.get("REPRO_STORE_DIR", "").strip()
     return d or None
+
+
+def store_shards() -> int:
+    """Shard count a new store is created with (``REPRO_STORE_SHARDS``)."""
+    return _shards.store_shards()
 
 
 def _memory_capacity() -> int:
@@ -144,12 +190,17 @@ def clear_store(disk: bool = False) -> None:
     if disk:
         d = store_dir()
         if d and os.path.isdir(d):
-            for name in os.listdir(d):
-                if name.endswith(".json") or name.endswith(".lock"):
-                    try:
-                        os.unlink(os.path.join(d, name))
-                    except OSError:
-                        pass
+            for path in list(_shards.iter_entry_paths(d)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            for path in list(_shards.iter_stale_locks(d)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            _shards.invalidate_layout_cache(d)
 
 
 # ----------------------------------------------------------------------
@@ -172,54 +223,68 @@ def _memory_put(digest: str, text: str) -> None:
             _memory.popitem(last=False)
 
 
-def _entry_path(d: str, key: RunKey) -> str:
-    return os.path.join(d, key.stem + ".json")
+def disk_entry_path(key: RunKey, d: str | None = None) -> str | None:
+    """Canonical (write-side) disk location of ``key`` under the layout."""
+    d = d or store_dir()
+    if d is None:
+        return None
+    return _shards.entry_path(d, key.stem, key.digest)
+
+
+def find_disk_entry(key: RunKey, d: str | None = None) -> str | None:
+    """The existing on-disk file holding ``key``, or None (probes the
+    sharded home first, then the legacy flat root)."""
+    d = d or store_dir()
+    if d is None:
+        return None
+    for path in _shards.read_paths(d, key.stem, key.digest):
+        if os.path.exists(path):
+            return path
+    return None
 
 
 def _disk_load(key: RunKey) -> str | None:
     d = store_dir()
     if d is None:
         return None
-    path = _entry_path(d, key)
-    try:
-        with open(path, "r") as fh:
-            return fh.read()
-    except OSError:
-        return None
+    for path in _shards.read_paths(d, key.stem, key.digest):
+        try:
+            with open(path, "r") as fh:
+                return fh.read()
+        except OSError:
+            continue
+    return None
 
 
 def _disk_store(key: RunKey, text: str) -> None:
-    """Write one entry: exclusive per-entry lock, first writer wins,
+    """Write one entry: per-shard exclusive lock, first writer wins,
     atomic tmp-write + rename. Best-effort on read-only/full disks."""
     d = store_dir()
     if d is None:
         return
-    path = _entry_path(d, key)
     try:
         os.makedirs(d, exist_ok=True)
-        with open(os.path.join(d, key.stem + ".lock"), "w") as lockf:
-            if fcntl is not None:
-                fcntl.flock(lockf, fcntl.LOCK_EX)
+        nshards = _shards.effective_shards(d, create=True)
+        path = _shards.entry_path(d, key.stem, key.digest, nshards)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with _shards.FileLock(_shards.shard_lock_path(d, key.digest, nshards)):
+            if find_disk_entry(key, d) is not None:
+                return  # another process/worker already published it
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".json.tmp")
             try:
-                if os.path.exists(path):
-                    return  # another process/worker already published it
-                fd, tmp = tempfile.mkstemp(dir=d, suffix=".json.tmp")
-                try:
-                    with os.fdopen(fd, "w") as fh:
-                        fh.write(text)
-                    os.replace(tmp, path)
-                except BaseException:
-                    if os.path.exists(tmp):
-                        os.unlink(tmp)
-                    raise
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(lockf, fcntl.LOCK_UN)
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
         with _lock:
             _stats.stores += 1
             _stats.bytes_written += len(text)
         telemetry.count("store.stores")
         telemetry.count("store.bytes", len(text))
+        telemetry.count("store.bytes_written", len(text))
     except OSError:
         pass
 
@@ -243,14 +308,15 @@ def _parse(key: RunKey, text: str) -> dict | None:
 # ----------------------------------------------------------------------
 # public get / put / get-or-run
 # ----------------------------------------------------------------------
-def get(key: RunKey, decode: Callable[[dict], object] | None = None):
-    """Look a point up (memory tier, then disk). None on a miss.
+def fetch(key: RunKey, decode: Callable[[dict], object] | None = None):
+    """Look a point up; returns ``(value, tier)``.
 
-    ``decode`` maps the stored ``result`` document back to a value;
-    default is the identity (plain JSON values).
+    ``tier`` is ``"memory"`` or ``"disk"`` on a hit and ``None`` on a
+    miss (then ``value`` is ``None`` too). The serving daemon uses the
+    tier to label responses; :func:`get` is the value-only wrapper.
     """
     if not store_enabled():
-        return None
+        return None, None
     text = _memory_get(key.digest)
     tier = "memory"
     if text is None:
@@ -259,23 +325,34 @@ def get(key: RunKey, decode: Callable[[dict], object] | None = None):
         if text is not None:
             with _lock:
                 _stats.bytes_read += len(text)
+            telemetry.count("store.bytes_read", len(text))
     if text is None:
-        return None
+        return None, None
     doc = _parse(key, text)
     if doc is None:
-        return None
+        return None, None
     value = doc["result"] if decode is None else decode(doc["result"])
     if value is None:  # unknown codec version: treat as a miss
-        return None
+        return None, None
     with _lock:
         if tier == "memory":
             _stats.memory_hits += 1
         else:
             _stats.disk_hits += 1
     telemetry.count("store.hits")
+    telemetry.count(f"store.{tier}_hits")
     if tier == "disk":
         _memory_put(key.digest, text)
-    return value
+    return value, tier
+
+
+def get(key: RunKey, decode: Callable[[dict], object] | None = None):
+    """Look a point up (memory tier, then disk). None on a miss.
+
+    ``decode`` maps the stored ``result`` document back to a value;
+    default is the identity (plain JSON values).
+    """
+    return fetch(key, decode=decode)[0]
 
 
 def put(key: RunKey, value, encode: Callable[[object], dict] | None = None) -> None:
@@ -292,24 +369,101 @@ def put(key: RunKey, value, encode: Callable[[object], dict] | None = None) -> N
     _disk_store(key, text)
 
 
+def _count_miss() -> None:
+    with _lock:
+        _stats.misses += 1
+    telemetry.count("store.misses")
+
+
+def _compute_and_publish(
+    key: RunKey,
+    compute: Callable[[], T],
+    encode: Callable[[T], dict] | None,
+    decode: Callable[[dict], T] | None,
+) -> T:
+    """The miss path of :func:`get_or_run`, cross-process coalesced.
+
+    With a disk tier, the computing leader holds the per-entry lock for
+    the duration of the compute. A process that finds the lock taken is
+    racing a leader elsewhere: it blocks (counted as ``lock_waits``),
+    then re-reads the entry the leader published -- a disk hit, not a
+    second compute. The lock file is reaped after a successful publish
+    (under the lock; see :meth:`~repro.store.shards.FileLock.
+    unlink_then_release` for why that is race-free), so sweeps leave no
+    stale locks behind. Without ``fcntl`` or a disk tier this reduces
+    to plain compute-and-publish.
+    """
+    d = store_dir()
+    if d is None or _shards.fcntl is None:
+        _count_miss()
+        value = compute()
+        put(key, value, encode=encode)
+        return value
+    lock = _shards.FileLock(_shards.entry_lock_path(d, key.stem, key.digest))
+    try:
+        os.makedirs(os.path.dirname(lock.path), exist_ok=True)
+        if not lock.acquire(blocking=False):
+            with _lock:
+                _stats.lock_waits += 1
+            telemetry.count("store.lock_waits")
+            lock.acquire(blocking=True)
+    except OSError:  # unlockable filesystem: fall back to plain compute
+        _count_miss()
+        value = compute()
+        put(key, value, encode=encode)
+        return value
+    try:
+        value = get(key, decode=decode)  # leader elsewhere may have published
+        if value is not None:
+            return value
+        _count_miss()
+        value = compute()
+        put(key, value, encode=encode)
+        lock.unlink_then_release()
+        return value
+    finally:
+        lock.release()  # no-op when already reaped-and-released
+
+
 def get_or_run(
     key: RunKey,
     compute: Callable[[], T],
     encode: Callable[[T], dict] | None = None,
     decode: Callable[[dict], T] | None = None,
 ) -> T:
-    """The store's main verb: serve a stored point or compute-and-publish."""
+    """The store's main verb: serve a stored point or compute-and-publish.
+
+    Concurrent callers of the same key coalesce: threads in this
+    process wait on a single-flight latch for the first caller's
+    result, and processes sharing a disk tier serialize on the
+    per-entry lock -- either way the point is computed exactly once
+    and every caller decodes the same stored bytes.
+    """
     if not store_enabled():
         return compute()
-    value = get(key, decode=decode)
-    if value is not None:
-        return value
-    with _lock:
-        _stats.misses += 1
-    telemetry.count("store.misses")
-    value = compute()
-    put(key, value, encode=encode)
-    return value
+    while True:
+        value = get(key, decode=decode)
+        if value is not None:
+            return value
+        with _lock:
+            latch = _inflight.get(key.digest)
+            if latch is None:
+                _inflight[key.digest] = latch = threading.Event()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            with _lock:
+                _stats.thread_coalesced += 1
+            telemetry.count("store.thread_coalesced")
+            latch.wait()
+            continue  # leader published to the memory tier (or failed)
+        try:
+            return _compute_and_publish(key, compute, encode, decode)
+        finally:
+            with _lock:
+                _inflight.pop(key.digest, None)
+            latch.set()
 
 
 def cached_sim(key: RunKey, compute: Callable[[], object]):
@@ -320,6 +474,15 @@ def cached_sim(key: RunKey, compute: Callable[[], object]):
 def cached_value(key: RunKey, compute: Callable[[], object]):
     """:func:`get_or_run` for plain-JSON values (lists/dicts/scalars)."""
     return get_or_run(key, compute)
+
+
+def migrate_store(d: str | None = None, shards: int | None = None):
+    """Offline re-shard of the disk tier (see :func:`repro.store.shards.
+    migrate_store`); ``d`` defaults to ``REPRO_STORE_DIR``."""
+    d = d or store_dir()
+    if d is None:
+        raise ValueError("no store directory (pass one or set REPRO_STORE_DIR)")
+    return _shards.migrate_store(d, shards=shards)
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ import json
 import math
 import multiprocessing
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -18,6 +19,7 @@ from repro import store
 from repro.core import DSNTopology
 from repro.sim import SimConfig
 from repro.sim.metrics import FaultRecord, SimResult
+from repro.store import shards as store_shards_mod
 
 
 @pytest.fixture(autouse=True)
@@ -26,11 +28,18 @@ def fresh_store(monkeypatch):
     monkeypatch.delenv("REPRO_STORE", raising=False)
     monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
     monkeypatch.delenv("REPRO_STORE_MEM", raising=False)
+    monkeypatch.delenv("REPRO_STORE_SHARDS", raising=False)
+    store_shards_mod.invalidate_layout_cache()
     store.clear_store()
     store.reset_store_stats()
     yield
     store.clear_store()
     store.reset_store_stats()
+
+
+def _entry_files(root):
+    """Every entry file in a store directory (flat root + shard dirs)."""
+    return sorted(store_shards_mod.iter_entry_paths(str(root)))
 
 
 def _sample_result() -> SimResult:
@@ -225,9 +234,9 @@ class TestDiskTier:
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
         key = store.run_key("t", {"x": 1})
         store.cached_value(key, lambda: {"v": 7})
-        entry = tmp_path / (key.stem + ".json")
-        assert entry.exists()
-        doc = json.loads(entry.read_text())
+        entry = store.find_disk_entry(key)
+        assert entry is not None and entry == store.disk_entry_path(key)
+        doc = json.loads(open(entry).read())
         assert doc["ns"] == "t" and doc["key"] == key.payload and doc["result"] == {"v": 7}
 
         store.clear_store()  # drop memory: next get must come from disk
@@ -243,7 +252,8 @@ class TestDiskTier:
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
         key = store.run_key("t", {"x": 1})
         store.cached_value(key, lambda: {"v": 7})
-        (tmp_path / (key.stem + ".json")).write_text("{not json")
+        with open(store.find_disk_entry(key), "w") as fh:
+            fh.write("{not json")
         store.clear_store()
         assert store.get(key) is None
 
@@ -254,7 +264,10 @@ class TestDiskTier:
         key = store.run_key("t", {"x": 1})
         other = store.run_key("t", {"x": 2})
         doc = {"ns": "t", "key": other.payload, "result": {"v": 666}}
-        (tmp_path / (key.stem + ".json")).write_text(json.dumps(doc))
+        path = store.disk_entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(json.dumps(doc))
         assert store.get(key) is None
 
     def test_clear_store_disk(self, tmp_path, monkeypatch):
@@ -262,7 +275,7 @@ class TestDiskTier:
         key = store.run_key("t", {"x": 1})
         store.cached_value(key, lambda: {"v": 7})
         store.clear_store(disk=True)
-        assert list(tmp_path.glob("*.json")) == []
+        assert _entry_files(tmp_path) == []
 
     def test_sim_result_disk_round_trip_bit_identical(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
@@ -294,11 +307,13 @@ class TestDedupMap:
 
 
 # ----------------------------------------------------------------------
-# concurrency: two processes racing on the same entry
+# concurrency: threads and processes racing on the same entry
 # ----------------------------------------------------------------------
 def _race_worker(args):
-    """Compute-and-publish one point; returns (value, stores) observed."""
-    store_dir, salt = args
+    """Compute-and-publish one point; returns the value and the stats
+    this worker observed. Every actual compute appends one line to
+    ``log_path``, so the parent can count computes across processes."""
+    store_dir, salt, log_path = args
     os.environ["REPRO_STORE_DIR"] = store_dir
     from repro import store as st
 
@@ -309,33 +324,129 @@ def _race_worker(args):
     def compute():
         import time
 
+        with open(log_path, "a") as fh:
+            fh.write(f"compute:{os.getpid()}\n")
         time.sleep(0.05)  # widen the race window
         return {"value": 1234, "salt_ignored": salt % 1}
 
     value = st.cached_value(key, compute)
-    return value, st.store_stats().stores
+    s = st.store_stats()
+    return value, s.stores, s.misses, s.lock_waits, s.disk_hits
 
 
 class TestConcurrency:
-    def test_two_processes_race_same_key(self, tmp_path):
-        """Both processes compute (cold store), both publish, the entry
-        is written exactly once (first writer wins under the lock) and
-        stays valid JSON with the right payload."""
+    def test_two_processes_race_one_compute(self, tmp_path):
+        """Two processes racing one cold key coalesce on the per-entry
+        lock: exactly one compute, one publish, and both decode the
+        same stored bytes (ISSUE 7 coalescing contract)."""
+        log = tmp_path / "computes.log"
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(2) as pool:
-            results = pool.map(_race_worker, [(str(tmp_path), 1), (str(tmp_path), 2)])
-        values = [v for v, _ in results]
+            results = pool.map(
+                _race_worker,
+                [(str(tmp_path), 1, str(log)), (str(tmp_path), 2, str(log))],
+            )
+        values = [r[0] for r in results]
         assert values[0] == values[1] == {"value": 1234, "salt_ignored": 0}
+        # Exactly one compute happened, cluster-wide.
+        assert len(log.read_text().splitlines()) == 1
+        # Exactly one writer published; the loser waited out the lock
+        # and was served the leader's entry as a disk hit.
+        assert sum(r[1] for r in results) == 1
+        assert sum(r[2] for r in results) == 1  # misses
+        assert sum(r[3] for r in results) <= 1  # lock_waits (timing-dependent)
+        assert sum(r[4] for r in results) == 1  # disk_hits
         key = store.run_key("race", {"point": 1})
-        entries = list(tmp_path.glob("race-*.json"))
-        assert [e.name for e in entries] == [key.stem + ".json"]
-        doc = json.loads(entries[0].read_text())
+        entries = _entry_files(tmp_path)
+        assert [os.path.basename(e) for e in entries] == [key.stem + ".json"]
+        doc = json.loads(open(entries[0]).read())
         assert doc["key"] == key.payload and doc["result"]["value"] == 1234
-        # At most one of the racers won the write.
-        assert sum(stores for _, stores in results) <= 2
+        # Byte-identical decoded results in both racers.
+        assert json.dumps(values[0], sort_keys=True) == json.dumps(values[1], sort_keys=True)
+        # The compute lock was reaped after the publish.
+        assert list(store_shards_mod.iter_stale_locks(str(tmp_path))) == []
         # A third, warm lookup sees the entry without computing.
-        value, _ = _race_worker((str(tmp_path), 3))
+        value, *_ = _race_worker((str(tmp_path), 3, str(log)))
         assert value == {"value": 1234, "salt_ignored": 0}
+        assert len(log.read_text().splitlines()) == 1
+
+    def test_two_threads_race_one_compute(self):
+        """Two threads racing one cold key coalesce on the in-process
+        single-flight latch: one compute, byte-identical results."""
+        import time
+
+        key = store.run_key("t", {"x": "threads"})
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            started.set()
+            release.wait(5.0)
+            return {"v": [3, 1]}
+
+        results = []
+
+        def worker():
+            results.append(store.cached_value(key, compute))
+
+        t1 = threading.Thread(target=worker)
+        t1.start()
+        assert started.wait(5.0)  # leader is inside compute()
+        t2 = threading.Thread(target=worker)
+        t2.start()
+        deadline = time.monotonic() + 5.0
+        while store.store_stats().thread_coalesced < 1:  # t2 on the latch
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        release.set()
+        t1.join(5.0)
+        t2.join(5.0)
+        assert len(calls) == 1
+        assert results[0] == results[1] == {"v": [3, 1]}
+        assert json.dumps(results[0], sort_keys=True) == json.dumps(results[1], sort_keys=True)
+        s = store.store_stats()
+        assert s.misses == 1 and s.thread_coalesced == 1 and s.memory_hits == 1
+
+    def test_failed_leader_hands_off_to_waiter(self):
+        """A waiter must not hang (or inherit the error) when the
+        computing leader raises: it re-runs the compute itself."""
+        key = store.run_key("t", {"x": "fail"})
+        started = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def bad_compute():
+            started.set()
+            release.wait(5.0)
+            raise RuntimeError("leader died")
+
+        def leader():
+            try:
+                store.cached_value(key, bad_compute)
+            except RuntimeError as exc:
+                outcome["leader"] = str(exc)
+
+        def waiter():
+            outcome["waiter"] = store.cached_value(key, lambda: {"v": 9})
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        assert started.wait(5.0)
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while store.store_stats().thread_coalesced < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        release.set()
+        t1.join(5.0)
+        t2.join(5.0)
+        assert outcome["leader"] == "leader died"
+        assert outcome["waiter"] == {"v": 9}
 
 
 # ----------------------------------------------------------------------
@@ -387,7 +498,7 @@ class TestExperimentWiring:
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
         # "Killed" sweep: only the first two points ever ran.
         run_curve("dsn", "uniform", loads=loads[:2], n=16, config=CFG, seed=1)
-        assert len(list(tmp_path.glob("sim-*.json"))) == 2
+        assert len(_entry_files(tmp_path)) == 2
 
         # Resume in a "fresh process": empty memory tier, zeroed stats.
         store.clear_store()
@@ -396,6 +507,20 @@ class TestExperimentWiring:
         s = store.store_stats()
         assert s.disk_hits == 2 and s.misses == 1
         assert _encode_curve(resumed) == _encode_curve(reference)
+
+    def test_sweep_leaves_no_stale_locks(self, tmp_path, monkeypatch):
+        """Regression (ISSUE 7): the disk tier used to leave one
+        ``.lock`` file per entry forever; per-entry compute locks are
+        now reaped after a successful publish, and the only lock files
+        left are the fixed dot-prefixed shard/layout locks."""
+        from repro.experiments.latency import run_curve
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        run_curve("dsn", "uniform", loads=(1.0, 2.0, 4.0), n=16, config=CFG, seed=1)
+        assert len(_entry_files(tmp_path)) == 3
+        assert list(store_shards_mod.iter_stale_locks(str(tmp_path))) == []
+        leftover = [p for p in tmp_path.rglob("*.lock") if not p.name.startswith(".")]
+        assert leftover == []
 
     def test_saturation_search_warm_no_misses(self):
         from repro.experiments.latency import saturation_search
