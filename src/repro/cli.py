@@ -22,6 +22,7 @@ regenerated without writing code:
   serve        HTTP daemon answering queries from the run store
   loadtest     replay a zipf-skewed query mix against the daemon
   store        run-store maintenance (migrate between shard layouts)
+  design       multi-objective topology design-space optimizer
 = =========== =====================================================
 """
 
@@ -264,6 +265,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="the store to operate on (default REPRO_STORE_DIR)")
     st.add_argument("--shards", type=int, default=None,
                     help="target shard count (0 = flat legacy layout)")
+
+    dsg = sub.add_parser(
+        "design",
+        help="multi-objective topology design-space optimizer",
+        description="Search the candidate space (DSN-x, DSN-D, flexible DSN, "
+                    "DLN, RANDOM/random-regular, grid baselines) for one "
+                    "(n, degree budget): 'frontier' prints the Pareto set over "
+                    "ASPL/diameter/cable/saturation, 'rank' orders candidates "
+                    "by the Demichev quality/cost score, 'explain LABEL' "
+                    "details one candidate. Every evaluation is a run-store "
+                    "entry, so killed searches resume and re-runs are warm. "
+                    "See docs/design.md.",
+    )
+    dsg.add_argument("action", choices=["frontier", "rank", "explain"])
+    dsg.add_argument("label", nargs="?", default=None,
+                     help="candidate label for 'explain' (e.g. dsn-x5)")
+    dsg.add_argument("--n", type=int, default=1024, help="switch count (default 1024)")
+    dsg.add_argument("--budget", type=int, default=5, dest="budget",
+                     help="max degree a candidate may use (default 5)")
+    dsg.add_argument("--seeds", type=int, default=2,
+                     help="instances per stochastic family (default 2)")
+    dsg.add_argument("--sources", type=int, default=None,
+                     help="betweenness source budget (default "
+                          "REPRO_DESIGN_SOURCES or 64)")
+    dsg.add_argument("--workers", type=_workers, default=None,
+                     help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    dsg.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                     help="persist evaluations under DIR (sets REPRO_STORE_DIR)")
+    dsg.add_argument("--resume", action="store_true",
+                     help="shorthand for --store-dir .repro-store")
+    dsg.add_argument("--no-store", action="store_true", dest="no_store",
+                     help="bypass the run store entirely (REPRO_STORE=off)")
+    dsg.add_argument("--out", default=None, metavar="PATH",
+                     help="write the canonical frontier JSON artifact to PATH")
+    dsg.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the canonical JSON artifact instead of tables")
+    dsg.add_argument("--plot", action="store_true",
+                     help="ASCII scatter of the frontier (ASPL vs cable metres)")
 
     dia = sub.add_parser("diagram", help="draw a DSN's structure or a route")
     dia.add_argument("n", type=int)
@@ -637,6 +676,59 @@ def _cmd_store(args) -> None:
               f"{entries} entries, {stale} stale lock(s)")
 
 
+def _cmd_design(args) -> None:
+    import os
+
+    from repro import design
+
+    if args.no_store:
+        os.environ["REPRO_STORE"] = "off"
+    elif args.store_dir or args.resume:
+        # Env (not an API call) so spawn-mode pool workers inherit it.
+        os.environ["REPRO_STORE_DIR"] = args.store_dir or ".repro-store"
+        os.environ.pop("REPRO_STORE", None)
+    if args.action == "explain" and not args.label:
+        print("design explain: a candidate label is required "
+              "(see 'design frontier' for the list)", file=sys.stderr)
+        sys.exit(2)
+
+    artifact = design.compute_frontier(
+        args.n, degree_budget=args.budget, seeds=args.seeds,
+        sources=args.sources, workers=args.workers,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(design.frontier_text(artifact))
+        print(f"wrote {args.out}")
+    if args.as_json:
+        sys.stdout.write(design.frontier_text(artifact))
+        return
+    if args.action == "frontier":
+        print(design.format_frontier(artifact))
+    elif args.action == "rank":
+        print(design.format_rank(artifact))
+    else:
+        try:
+            detail = design.explain_candidate(artifact, args.label)
+        except KeyError as exc:
+            print(f"design explain: {exc.args[0]}", file=sys.stderr)
+            sys.exit(2)
+        print(design.format_explain(detail))
+    if args.plot:
+        from repro.viz import ascii_plot
+
+        front = sorted(
+            ((ev["cable_total_m"], ev["aspl"])
+             for ev in artifact["evaluations"] if ev["pareto"]),
+        )
+        print(ascii_plot(
+            [x for x, _ in front],
+            {"pareto aspl": [y for _, y in front]},
+            x_label="cable metres",
+            y_label="aspl",
+        ))
+
+
 def _cmd_diagram(args) -> None:
     from repro.core import DSNTopology, dsn_route
     from repro.viz import dsn_ring_diagram, route_diagram
@@ -684,6 +776,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
         "store": _cmd_store,
+        "design": _cmd_design,
     }
     handlers[args.command](args)
 

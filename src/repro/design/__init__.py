@@ -1,0 +1,70 @@
+"""Topology design-space optimizer (``python -m repro design``).
+
+Given a node count, a degree budget, and the cabinet floorplan, the
+optimizer enumerates candidate topologies across the paper's families
+(DSN-x, DSN-D, flexible DSN, DLN, RANDOM / random-regular baselines,
+grid topologies), evaluates each on ASPL, diameter, cable cost and
+saturation load, and reports the Pareto frontier plus the Demichev
+quality/cost ranking. Every evaluation is a content-addressed run
+store entry, so searches resume and re-runs are warm.
+
+Layered as:
+
+* :mod:`repro.design.space` -- candidate specs and enumeration;
+* :mod:`repro.design.objectives` -- one spec -> one objective vector,
+  store-memoized;
+* :mod:`repro.design.frontier` -- fan-out, Pareto set, Demichev
+  ranking, canonical artifact, renderings.
+
+See ``docs/design.md`` for the operator's handbook.
+"""
+
+from repro.design.frontier import (
+    FRONTIER_VERSION,
+    PARETO_AXES,
+    compute_frontier,
+    demichev_score,
+    explain_candidate,
+    format_explain,
+    format_frontier,
+    format_rank,
+    frontier_key,
+    frontier_text,
+    pareto_front,
+)
+from repro.design.objectives import (
+    DESIGN_EVAL_VERSION,
+    channel_load_shares,
+    design_eval_key,
+    design_sources,
+    evaluate_candidate,
+)
+from repro.design.space import (
+    DEFAULT_DEGREE_BUDGET,
+    Candidate,
+    build_candidate,
+    enumerate_candidates,
+)
+
+__all__ = [
+    "FRONTIER_VERSION",
+    "PARETO_AXES",
+    "DESIGN_EVAL_VERSION",
+    "DEFAULT_DEGREE_BUDGET",
+    "Candidate",
+    "build_candidate",
+    "channel_load_shares",
+    "compute_frontier",
+    "demichev_score",
+    "design_eval_key",
+    "design_sources",
+    "enumerate_candidates",
+    "evaluate_candidate",
+    "explain_candidate",
+    "format_explain",
+    "format_frontier",
+    "format_rank",
+    "frontier_key",
+    "frontier_text",
+    "pareto_front",
+]

@@ -1,0 +1,290 @@
+"""Pareto frontier assembly and ranking for ``repro design``.
+
+:func:`compute_frontier` is the optimizer's whole pipeline: enumerate
+the candidate space (:mod:`repro.design.space`), fan every evaluation
+out through :func:`repro.store.dedup_map` (each one store-memoized by
+:mod:`repro.design.objectives`), apply the degree budget to the
+*measured* ``max_degree``, take the non-dominated set over
+(ASPL, diameter, cable metres, saturation), and attach the Demichev
+quality/cost scalar (arXiv:1301.0683) against the ring baseline as a
+single-number ranking knob.
+
+The resulting artifact is a plain dict rendered to canonical JSON by
+:func:`frontier_text` -- sorted keys, no whitespace, trailing newline
+-- so two runs that agree on the numbers agree on the bytes, whatever
+``REPRO_WORKERS`` or the store tier said. The whole artifact is itself
+memoized under a ``design_frontier`` store key, which is the read path
+``/v1/design`` serves.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import store, telemetry
+from repro.design.objectives import design_sources, evaluation_job, run_evaluation_job
+from repro.design.space import DEFAULT_DEGREE_BUDGET, Candidate, enumerate_candidates
+
+__all__ = [
+    "FRONTIER_VERSION",
+    "PARETO_AXES",
+    "frontier_key",
+    "compute_frontier",
+    "pareto_front",
+    "demichev_score",
+    "explain_candidate",
+    "frontier_text",
+    "format_frontier",
+    "format_rank",
+    "format_explain",
+]
+
+#: Bumped when the artifact layout or frontier semantics change.
+FRONTIER_VERSION = 1
+
+#: The objective vector, as (evaluation key, direction) pairs. Cable
+#: cost enters as metres on the floorplan (the paper's Fig. 9 axis);
+#: the dollar bill of materials stays in the artifact and in the
+#: Demichev cost ratio.
+PARETO_AXES = (
+    ("aspl", "min"),
+    ("diameter", "min"),
+    ("cable_total_m", "min"),
+    ("saturation_gbps", "max"),
+)
+
+
+def frontier_key(
+    n: int, degree_budget: int, seeds: int, sources: int
+) -> store.RunKey:
+    """Store key of a whole frontier artifact (the ``/v1/design`` unit)."""
+    return store.run_key(
+        "design_frontier",
+        {
+            "v": FRONTIER_VERSION,
+            "n": int(n),
+            "degree_budget": int(degree_budget),
+            "seeds": int(seeds),
+            "sources": int(sources),
+        },
+    )
+
+
+def _objective_vector(ev: dict) -> tuple[float, ...]:
+    """Minimization-oriented objective tuple of one evaluation."""
+    return tuple(
+        ev[key] if sense == "min" else -ev[key] for key, sense in PARETO_AXES
+    )
+
+
+def _dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and a != b
+
+
+def pareto_front(evaluations: list[dict]) -> list[str]:
+    """Labels of the non-dominated evaluations, in input order."""
+    vecs = [_objective_vector(ev) for ev in evaluations]
+    return [
+        ev["label"]
+        for ev, v in zip(evaluations, vecs)
+        if not any(_dominates(w, v) for w in vecs)
+    ]
+
+
+def demichev_score(ev: dict, ring: dict) -> dict:
+    """Quality/cost scalar of arXiv:1301.0683 against the ring baseline.
+
+    Quality is the ASPL improvement over the ring (the small-world
+    payoff); cost is the bill-of-materials ratio. ``score = Q / K``,
+    so the ring itself scores exactly 1 and anything above 1 buys more
+    shortening than it costs.
+    """
+    quality = ring["aspl"] / ev["aspl"] if ev["aspl"] else float("inf")
+    cost = ev["cost_total"] / ring["cost_total"] if ring["cost_total"] else float("inf")
+    return {
+        "quality": quality,
+        "cost": cost,
+        "score": quality / cost if cost else 0.0,
+    }
+
+
+def _assemble(
+    n: int, degree_budget: int, seeds: int, sources: int, workers: int | None
+) -> dict:
+    candidates = enumerate_candidates(n, degree_budget=degree_budget, seeds=seeds)
+    telemetry.count("design.candidates", len(candidates))
+    with telemetry.span("design.frontier"):
+        jobs = [evaluation_job(c, sources) for c in candidates]
+        evaluations = store.dedup_map(run_evaluation_job, jobs, workers=workers)
+
+        ring = next(ev for ev in evaluations if ev["candidate"]["kind"] == "ring")
+        within = [ev for ev in evaluations if ev["max_degree"] <= degree_budget]
+        over = [ev["label"] for ev in evaluations if ev["max_degree"] > degree_budget]
+        front = set(pareto_front(within))
+
+        for ev in evaluations:
+            ev["within_budget"] = ev["max_degree"] <= degree_budget
+            ev["pareto"] = ev["label"] in front
+            ev["demichev"] = demichev_score(ev, ring)
+        ranked = sorted(
+            within, key=lambda ev: (-ev["demichev"]["score"], ev["label"])
+        )
+        for rank, ev in enumerate(ranked, start=1):
+            ev["rank"] = rank
+        for ev in evaluations:
+            ev.setdefault("rank", None)
+
+        return {
+            "version": FRONTIER_VERSION,
+            "n": n,
+            "degree_budget": degree_budget,
+            "seeds": seeds,
+            "sources": sources,
+            "baseline": ring["label"],
+            "axes": [list(axis) for axis in PARETO_AXES],
+            "num_candidates": len(candidates),
+            "pareto": [ev["label"] for ev in within if ev["pareto"]],
+            "over_budget": over,
+            "evaluations": sorted(evaluations, key=lambda ev: ev["label"]),
+        }
+
+
+def compute_frontier(
+    n: int,
+    degree_budget: int = DEFAULT_DEGREE_BUDGET,
+    seeds: int = 2,
+    sources: int | None = None,
+    workers: int | None = None,
+) -> dict:
+    """The full frontier artifact for ``(n, degree_budget, seeds)``.
+
+    Memoized at two levels: the whole artifact under a
+    ``design_frontier`` key, and -- on a frontier miss -- every
+    candidate evaluation under its own ``design_eval`` key, so a
+    killed search resumes from the evaluations it already published.
+    """
+    sources = sources if sources is not None else design_sources()
+    key = frontier_key(n, degree_budget, seeds, sources)
+    return store.cached_value(
+        key, lambda: _assemble(n, degree_budget, seeds, sources, workers)
+    )
+
+
+def frontier_text(artifact: dict) -> str:
+    """Canonical JSON bytes of a frontier (identical across workers)."""
+    return json.dumps(artifact, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def explain_candidate(artifact: dict, label: str) -> dict:
+    """One candidate's evaluation plus who dominates it (``design explain``)."""
+    by_label = {ev["label"]: ev for ev in artifact["evaluations"]}
+    if label not in by_label:
+        known = ", ".join(sorted(by_label))
+        raise KeyError(f"unknown candidate {label!r}; known: {known}")
+    ev = by_label[label]
+    mine = _objective_vector(ev)
+    dominated_by = [
+        other["label"]
+        for other in artifact["evaluations"]
+        if other["within_budget"] and _dominates(_objective_vector(other), mine)
+    ]
+    return {**ev, "dominated_by": sorted(dominated_by)}
+
+
+# ----------------------------------------------------------------------
+# human-readable renderings
+# ----------------------------------------------------------------------
+_COLUMNS = (
+    ("label", "candidate", "s"),
+    ("max_degree", "deg", "d"),
+    ("aspl", "aspl", ".4f"),
+    ("diameter", "diam", "d"),
+    ("cable_total_m", "cable_m", ".0f"),
+    ("cost_total", "cost_$", ".0f"),
+    ("saturation_gbps", "sat_gbps", ".4f"),
+)
+
+
+def _rows(evaluations: list[dict], extra=()) -> str:
+    cols = _COLUMNS + tuple(extra)
+    head = [title for _, title, _ in cols]
+    body = [
+        [f"{ev[key]:{fmt}}" if fmt != "s" else str(ev[key]) for key, _, fmt in cols]
+        for ev in evaluations
+    ]
+    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+              for i, h in enumerate(head)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(head, widths))]
+    lines += ["  ".join(c.rjust(w) if i else c.ljust(w)
+                        for i, (c, w) in enumerate(zip(r, widths)))
+              for r in body]
+    return "\n".join(lines)
+
+
+def format_frontier(artifact: dict) -> str:
+    """Table of the Pareto set, then the dominated/over-budget tail."""
+    evs = artifact["evaluations"]
+    front = [ev for ev in evs if ev["pareto"]]
+    rest = [ev for ev in evs if not ev["pareto"] and ev["within_budget"]]
+    out = [
+        f"design frontier: n={artifact['n']} degree_budget="
+        f"{artifact['degree_budget']} seeds={artifact['seeds']} "
+        f"sources={artifact['sources']} candidates={artifact['num_candidates']}",
+        "",
+        f"pareto front ({len(front)}):",
+        _rows(front),
+    ]
+    if rest:
+        out += ["", f"dominated ({len(rest)}):", _rows(rest)]
+    if artifact["over_budget"]:
+        out += ["", "over budget: " + ", ".join(artifact["over_budget"])]
+    return "\n".join(out) + "\n"
+
+
+def format_rank(artifact: dict) -> str:
+    """Within-budget candidates by Demichev score (best first)."""
+    ranked = sorted(
+        (ev for ev in artifact["evaluations"] if ev["rank"] is not None),
+        key=lambda ev: ev["rank"],
+    )
+    extra = (("_score", "demichev", ".4f"), ("_q", "quality", ".4f"), ("_k", "cost_x", ".4f"))
+    flat = [
+        {**ev, "_score": ev["demichev"]["score"], "_q": ev["demichev"]["quality"],
+         "_k": ev["demichev"]["cost"]}
+        for ev in ranked
+    ]
+    head = (
+        f"demichev ranking (baseline {artifact['baseline']}): "
+        f"n={artifact['n']} degree_budget={artifact['degree_budget']}"
+    )
+    return head + "\n\n" + _rows(flat, extra) + "\n"
+
+
+def format_explain(detail: dict) -> str:
+    """Prose card for one candidate (``design explain <label>``)."""
+    d = detail
+    lines = [
+        f"candidate {d['label']}  ({d['name']})",
+        f"  spec: kind={d['candidate']['kind']} n={d['candidate']['n']} "
+        f"seed={d['candidate']['seed']} params={d['candidate']['params']}",
+        f"  degree: max={d['max_degree']} avg={d['avg_degree']:.3f} "
+        f"links={d['num_links']}  within_budget={d['within_budget']}",
+        f"  path: aspl={d['aspl']:.4f} diameter={d['diameter']}",
+        f"  cable: total={d['cable_total_m']:.1f} m avg={d['cable_avg_m']:.2f} m  "
+        f"cost=${d['cost_total']:.0f} (cable share {d['cost_cable_share']:.1%})",
+        f"  load: saturation={d['saturation_gbps']:.4f} gbps "
+        f"hottest_share={d['hottest_share']:.2e} "
+        f"(betweenness over {d['betweenness_sources']} sources)",
+        f"  demichev: score={d['demichev']['score']:.4f} "
+        f"(quality {d['demichev']['quality']:.4f} / cost {d['demichev']['cost']:.4f})",
+    ]
+    if d["pareto"]:
+        lines.append("  pareto: on the frontier")
+    elif d["dominated_by"]:
+        lines.append("  pareto: dominated by " + ", ".join(d["dominated_by"]))
+    else:
+        lines.append("  pareto: over degree budget")
+    if d["rank"] is not None:
+        lines.append(f"  rank: #{d['rank']} by demichev score")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,162 @@
+"""Candidate enumeration for the topology design-space optimizer.
+
+A *candidate* is a small frozen spec -- kind, size, construction
+parameters, seed -- that deterministically names one buildable
+topology. The optimizer never stores topology objects: a spec is
+hashable (so :func:`repro.store.dedup_map` can collapse duplicates),
+picklable (so evaluations fan out over ``parallel_map`` workers) and
+JSON-able (so it lands verbatim in store keys and frontier artifacts).
+
+:func:`enumerate_candidates` spans the families the paper's Section V
+narrative puts on the table -- DSN-x across shortcut-set sizes, the
+DSN-D express-ring variants, the flexible (minor-node) construction,
+the DLN ladder, the seeded RANDOM/random-regular baselines, and the
+grid topologies (ring, torus, hypercube) -- pruned only by *known*
+degree floors (a hypercube's ``log2 n`` degree cannot fit a budget of
+5, so it is never built). Families whose exact degree census emerges
+from construction (DSN tails, DLN ladders) are enumerated and
+measured; the frontier applies the degree budget to the measured
+``max_degree`` so an over-budget candidate is reported as such rather
+than silently skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topologies.base import Topology
+from repro.util import is_power_of_two
+
+__all__ = ["Candidate", "enumerate_candidates", "build_candidate", "DEFAULT_DEGREE_BUDGET"]
+
+#: Degree budget of the paper's own comparison: the trio tops out at 5
+#: (Fact 1: DSN has at most 4 nodes of degree 5).
+DEFAULT_DEGREE_BUDGET = 5
+
+#: Smallest size the whole space supports (DSN needs n >= 16; the
+#: flexible variant additionally wants a few majors to spare).
+MIN_DESIGN_N = 16
+
+
+@dataclass(frozen=True, order=True)
+class Candidate:
+    """One point of the design space: a deterministic build recipe."""
+
+    kind: str
+    n: int
+    seed: int = 0
+    params: tuple[tuple[str, int], ...] = ()  #: sorted (name, value) pairs
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id (the CLI's ``design explain`` handle)."""
+        parts = [f"{k}{v}" for k, v in self.params]
+        body = self.kind + ("-" + "-".join(parts) if parts else "")
+        return body + (f"@s{self.seed}" if self.seed else "")
+
+    def as_dict(self) -> dict:
+        """JSON form used in store keys and frontier artifacts."""
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "seed": self.seed,
+            "params": {k: v for k, v in self.params},
+        }
+
+
+def _cand(kind: str, n: int, seed: int = 0, **params: int) -> Candidate:
+    return Candidate(kind=kind, n=n, seed=seed,
+                     params=tuple(sorted(params.items())))
+
+
+def enumerate_candidates(
+    n: int,
+    degree_budget: int = DEFAULT_DEGREE_BUDGET,
+    seeds: int = 2,
+) -> list[Candidate]:
+    """The deterministic candidate list for one ``(n, budget, seeds)``.
+
+    ``seeds`` controls how many independent instances of each
+    *stochastic* family (RANDOM, random-regular) enter the space; the
+    deterministic families contribute one candidate per parameter
+    value. Families whose minimum possible degree already exceeds the
+    budget are pruned here; everything else is enumerated and later
+    measured (see module docstring). The list is sorted, so its order
+    -- and every artifact derived from it -- is independent of dict
+    iteration, workers, and Python hash seeds.
+    """
+    if n < MIN_DESIGN_N:
+        raise ValueError(f"design space needs n >= {MIN_DESIGN_N}, got {n}")
+    if degree_budget < 2:
+        raise ValueError(f"degree budget must be >= 2, got {degree_budget}")
+    seeds = max(1, int(seeds))
+    p = max(2, (n - 1).bit_length())  # ceil(log2 n), the DSN level count
+
+    out: list[Candidate] = [_cand("ring", n)]
+
+    # DSN-x: full shortcut set plus a spread of truncations.
+    for x in sorted({1, 2, (p - 1) // 2 or 1, p - 1}):
+        if 1 <= x <= p - 1:
+            out.append(_cand("dsn", n, x=x))
+    # DSN-D-d express-ring variants (Section V-B; needs d < p).
+    for d in (1, 2, 4):
+        if d < p:
+            out.append(_cand("dsn_d", n, d=d))
+    # Flexible DSN (Section V-C): majors + evenly spread minor nodes.
+    if n >= MIN_DESIGN_N + 8:
+        out.append(_cand("flexible", n, minors=4))
+
+    # DLN ladder (the deterministic halving family DSN collapses to).
+    for x in (2, 3, 4):
+        if x <= p:
+            out.append(_cand("dln", n, x=x))
+
+    # Stochastic baselines: the paper's RANDOM and random-regular graphs.
+    for s in range(seeds):
+        out.append(_cand("random", n, seed=s))
+    for degree in (3, 4, 5):
+        if degree > degree_budget or (n * degree) % 2:
+            continue
+        for s in range(seeds):
+            out.append(_cand("random_regular", n, seed=s, degree=degree))
+
+    # Grid family: known fixed degrees, pruned against the budget.
+    if degree_budget >= 4:
+        out.append(_cand("torus", n))
+    if degree_budget >= 6:
+        out.append(_cand("torus3d", n))
+    if is_power_of_two(n) and n.bit_length() - 1 <= degree_budget:
+        out.append(_cand("hypercube", n))
+
+    return sorted(out)
+
+
+def build_candidate(c: Candidate) -> Topology:
+    """Construct the topology a candidate names (memoized in-process).
+
+    Standard kinds route through :func:`repro.experiments.make_topology`
+    (and share its :func:`repro.cache.memo_topology` entries with every
+    other subsystem); the flexible DSN -- which the factory does not
+    know -- is built here with its minors spread evenly around the ring
+    and memoized under its own recipe.
+    """
+    params = dict(c.params)
+    if c.kind == "flexible":
+        from repro import cache
+
+        minors = params.get("minors", 4)
+        base_n = c.n - minors
+        recipe = ("design_flexible", base_n, minors)
+        return cache.memo_topology(
+            recipe, lambda: _build_flexible(base_n, minors)
+        )
+    from repro.experiments.sweeps import make_topology
+
+    return make_topology(c.kind, c.n, seed=c.seed, **params)
+
+
+def _build_flexible(base_n: int, minors: int) -> Topology:
+    from repro.core.flexible import FlexibleDSNTopology
+
+    minors_after = [((i + 1) * base_n) // (minors + 1) for i in range(minors)]
+    return FlexibleDSNTopology(base_n, minors_after)

@@ -21,7 +21,10 @@ inside a 2% band), while the enabled-mode overhead is measured and
 reported -- (g) gates the persistent run store -- a warm re-run of a
 whole Fig. 10 subplot must be served from ``REPRO_STORE_DIR`` at least
 10x faster with bit-identical curves, and the ``REPRO_STORE=off`` path
-must time inside the same 2% band -- and (h) optionally runs the
+must time inside the same 2% band -- (h) gates the design-space
+optimizer -- one frontier computed cold, through a process pool, and
+warm from the store must be byte-identical, with the warm pass
+store-served at least 10x faster -- and (i) optionally runs the
 tier-1 pytest suite. The
 timings land in a ``BENCH_*.json`` evidence file (see
 :mod:`repro.util.profiling`).
@@ -73,6 +76,13 @@ STORE_WARM_HIT_RATE = 0.95
 #: Loads of the store warm-sweep gate (the paper's Fig. 10 x-axis).
 STORE_SWEEP_LOADS_FULL = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
 STORE_SWEEP_LOADS_QUICK = (1.0, 2.0, 4.0)
+
+#: Design-frontier gate: the warm re-run of a whole frontier must come
+#: from the run store at least this much faster than the cold search,
+#: and the artifact bytes must agree across cold/parallel/warm.
+DESIGN_WARM_SPEEDUP = 10.0
+DESIGN_N_FULL = 1024  # the ISSUE's acceptance size
+DESIGN_N_QUICK = 64
 
 #: Serve-latency gate: the warm replay (zipf mix over a pre-populated
 #: sharded store) must clear these. The latency ceiling and throughput
@@ -443,6 +453,70 @@ def _store_warm_sweep(loads) -> dict:
     }
 
 
+def _design_frontier_gate(n: int, workers: int) -> dict:
+    """Design-optimizer gate: one frontier, three ways.
+
+    Cold runs the whole search with the store off; the parallel pass
+    recomputes it (still store-off) through a ``workers``-wide pool --
+    the artifact bytes must match, proving worker count never leaks
+    into results. The populate pass fills a throwaway store; the warm
+    pass starts from a cleared memory tier and must be served from disk
+    (zero misses) at least :data:`DESIGN_WARM_SPEEDUP` x faster than
+    cold. The caller saves/restores the store env vars.
+    """
+    import shutil
+    import time
+
+    from repro import store
+    from repro.design import compute_frontier, frontier_text
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-design-")
+    try:
+        os.environ["REPRO_STORE"] = "off"
+        t0 = time.perf_counter()
+        cold = frontier_text(compute_frontier(n, workers=0))
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        par = frontier_text(compute_frontier(n, workers=workers))
+        parallel_s = time.perf_counter() - t0
+
+        os.environ.pop("REPRO_STORE", None)
+        os.environ["REPRO_STORE_DIR"] = tmp
+        store.clear_store()
+        store.reset_store_stats()
+        t0 = time.perf_counter()
+        compute_frontier(n, workers=0)
+        populate_s = time.perf_counter() - t0
+
+        store.clear_store()  # memory tier only: the warm hit must hit disk
+        store.reset_store_stats()
+        t0 = time.perf_counter()
+        warm = frontier_text(compute_frontier(n, workers=0))
+        warm_s = time.perf_counter() - t0
+        stats = store.store_stats()
+    finally:
+        os.environ.pop("REPRO_STORE_DIR", None)
+        store.clear_store()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "n": n,
+        "workers": workers,
+        "bytes": len(cold),
+        "cold_s": round(cold_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "populate_s": round(populate_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "disk_hits": stats.disk_hits,
+        "misses": stats.misses,
+        "identical": cold == par == warm,
+        "warm_store_served": stats.disk_hits >= 1 and stats.misses == 0,
+    }
+
+
 def _store_overhead(reps: int = 3) -> dict:
     """Store cost gate, mirroring :func:`_telemetry_overhead`.
 
@@ -717,6 +791,17 @@ def run_bench(
             store_cost["disabled_ratio"] <= 1.0 + STORE_OVERHEAD_RTOL
         )
 
+        # --- design-frontier gate -------------------------------------
+        with timer.stage("design_frontier"):
+            design_info = _design_frontier_gate(
+                DESIGN_N_QUICK if quick else DESIGN_N_FULL, workers
+            )
+        checks["design_frontier_identity"] = design_info["identical"]
+        checks["design_frontier_warm"] = (
+            design_info["warm_store_served"]
+            and design_info["speedup"] >= DESIGN_WARM_SPEEDUP
+        )
+
         # --- serving-tier gate ----------------------------------------
         with timer.stage("serve_latency"):
             serve_info = _serve_latency_gate()
@@ -794,6 +879,7 @@ def run_bench(
             "telemetry_overhead": tel_info,
             "store_warm_sweep": store_info,
             "store_overhead": store_cost,
+            "design_frontier": design_info,
             "serve_latency": serve_info,
             "large_n": large_n_stats,
             "large_n_rss_cap_mb": LARGE_N_RSS_MB if large_n else None,
@@ -823,6 +909,14 @@ def run_bench(
         f"disabled ratio {store_cost['disabled_ratio']:.3f} "
         f"(band {1 + STORE_OVERHEAD_RTOL:.2f}), miss overhead "
         f"{(store_cost['miss_ratio'] - 1):+.1%} (reported, not gated)"
+    )
+    print(
+        f"design: n={design_info['n']} frontier warm {design_info['speedup']:.1f}x "
+        f"faster (floor {DESIGN_WARM_SPEEDUP:.0f}x), cold {design_info['cold_s']:.2f}s "
+        f"-> warm {design_info['warm_s']:.4f}s, artifacts "
+        f"{'identical' if design_info['identical'] else 'DIFFER'} across "
+        f"serial/parallel/warm, warm pass "
+        f"{'store-served' if design_info['warm_store_served'] else 'RECOMPUTED'}"
     )
     print(
         f"serve: {serve_info['requests']} warm requests at "

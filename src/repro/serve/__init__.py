@@ -15,6 +15,7 @@ from repro.serve.daemon import Daemon, ServeConfig, ServerThread, serve_forever
 from repro.serve.handlers import (
     QueryError,
     compute_job,
+    design_job,
     job_key,
     job_path,
     latency_job,
@@ -46,6 +47,7 @@ __all__ = [
     "default_candidates",
     "job_key",
     "job_path",
+    "design_job",
     "latency_job",
     "parse_query",
     "percentile",

@@ -37,6 +37,7 @@ __all__ = [
     "sim_config",
     "latency_job",
     "topology_job",
+    "design_job",
     "parse_query",
     "job_path",
     "job_key",
@@ -92,6 +93,20 @@ def topology_job(kind: str, n: int = 64, seed: int = 0) -> tuple:
     return ("topo", kind, int(n), int(seed))
 
 
+def design_job(n: int, budget: int = 5, seeds: int = 2, sources: int | None = None) -> tuple:
+    """One design-frontier query as a job tuple.
+
+    The answer is the whole frontier artifact for ``(n, budget,
+    seeds)`` -- the read path over frontiers a ``python -m repro
+    design`` run (or a cold fill here) precomputed.
+    """
+    if sources is None:
+        from repro.design.objectives import design_sources
+
+        sources = design_sources()
+    return ("design", int(n), int(budget), int(seeds), int(sources))
+
+
 def _field(params: dict, name: str, default=None, cast=str, choices=None):
     raw = params.get(name)
     if raw is None or raw == "":
@@ -143,6 +158,20 @@ def parse_query(path: str, params: dict) -> tuple:
             n=n,
             seed=_field(params, "seed", default=0, cast=int),
         )
+    if path == "/v1/design":
+        from repro.design.space import MIN_DESIGN_N
+
+        n = _field(params, "n", default=64, cast=int)
+        if not MIN_DESIGN_N <= n <= 65536:
+            raise QueryError(f"n out of range: {n}")
+        budget = _field(params, "budget", default=5, cast=int)
+        if not 2 <= budget <= 64:
+            raise QueryError(f"budget out of range: {budget}")
+        seeds = _field(params, "seeds", default=2, cast=int)
+        if not 1 <= seeds <= 16:
+            raise QueryError(f"seeds out of range: {seeds}")
+        sources = _field(params, "sources", default=0, cast=int) or None
+        return design_job(n, budget=budget, seeds=seeds, sources=sources)
     raise QueryError(f"unknown query path {path!r}")
 
 
@@ -157,6 +186,9 @@ def job_path(job: tuple) -> str:
     if job[0] == "topo":
         _, kind, n, seed = job
         return f"/v1/topology?kind={kind}&n={n}&seed={seed}"
+    if job[0] == "design":
+        _, n, budget, seeds, sources = job
+        return f"/v1/design?n={n}&budget={budget}&seeds={seeds}&sources={sources}"
     raise ValueError(f"not a job tuple: {job!r}")
 
 
@@ -183,6 +215,11 @@ def job_key(job: tuple) -> store.RunKey:
     if job[0] == "topo":
         _, kind, n, seed = job
         return store.run_key("topo_metrics", {"kind": kind, "n": n, "seed": seed, "v": 1})
+    if job[0] == "design":
+        from repro.design.frontier import frontier_key
+
+        _, n, budget, seeds, sources = job
+        return frontier_key(n, budget, seeds, sources)
     raise ValueError(f"not a job tuple: {job!r}")
 
 
@@ -225,6 +262,15 @@ def compute_job(job: tuple) -> dict:
     if job[0] == "topo":
         _, kind, n, seed = job
         return store.cached_value(job_key(job), lambda: _topo_metrics(kind, n, seed))
+    if job[0] == "design":
+        from repro.design.frontier import compute_frontier
+
+        _, n, budget, seeds, sources = job
+        # compute_frontier memoizes under job_key(job) itself; fills
+        # run the evaluations serially (workers=0) inside the daemon's
+        # fill pool rather than forking a nested pool per request.
+        return compute_frontier(n, degree_budget=budget, seeds=seeds,
+                                sources=sources, workers=0)
     raise ValueError(f"not a job tuple: {job!r}")
 
 

@@ -149,6 +149,22 @@ class TestDaemon:
             assert body["serve"]["bad_requests"] == 1
             assert body["store"]["misses"] >= 1
 
+    def test_design_endpoint(self, tmp_path, monkeypatch):
+        """/v1/design serves precomputed frontiers: cold fill once,
+        then warm hits byte-identical to the direct computation."""
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        path = "/v1/design?n=16&budget=5&seeds=1&sources=16"
+        direct = handlers.compute_job(handlers.design_job(16, seeds=1, sources=16))
+        with ServerThread(ServeConfig(port=0)) as srv:
+            status, headers, body = _get(srv.url + path)
+            assert status == 200
+            assert headers["X-Repro-Source"] in ("memory", "disk")
+            assert handlers.result_text(body["result"]) == handlers.result_text(direct)
+            assert body["result"]["pareto"]
+
+            status, _, body = _get(srv.url + "/v1/design?n=15")
+            assert status == 400 and "error" in body
+
     def test_metrics_exports_store_counters(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
         handlers.compute_job(_path_job(TOPO_PATH))
