@@ -9,6 +9,7 @@ regenerated without writing code:
   fig8         average shortest path length vs network size
   fig9         average cable length vs network size (floorplan model)
   fig10        latency vs accepted traffic (network simulation)
+  router-sweep pipelined-router design space (VCs x buffers x depths)
   sweep        resumable fig10 sweep through the persistent run store
   theory       validate the Fact 1-3 / Theorem 1-2 bounds
   balance      custom routing vs up*/down* channel loads (E13)
@@ -86,6 +87,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulator: packet-level 'network' (default) or the "
                           "flit-level credit/crossbar model (run loop via "
                           "REPRO_FLIT_ENGINE)")
+    f10.add_argument("--router", default=None, choices=["ideal", "pipelined"],
+                     help="flit-engine router model: lumped-delay 'ideal' "
+                          "(default, REPRO_ROUTER) or the staged RC/VA/SA/ST "
+                          "'pipelined' microarchitecture; 'pipelined' implies "
+                          "--engine flit")
+
+    rs = sub.add_parser(
+        "router-sweep",
+        help="pipelined-router design space: VCs x buffer depth x pipeline depth",
+        description="Sweep the pipelined router microarchitecture "
+                    "(repro.sim.router) over virtual-channel count, per-VC "
+                    "buffer depth and per-hop pipeline depth on the DSN-V "
+                    "custom routing, at one offered load. One ideal-router "
+                    "reference point per VC count anchors the overhead "
+                    "columns. Writes a ROUTER_SWEEP.json artifact with --out.",
+    )
+    rs.add_argument("--vcs", type=_sizes, default=(4, 8),
+                    help="virtual channels per link (comma list; DSN-V needs >= 4)")
+    rs.add_argument("--buffers", type=_sizes, default=(8, 33),
+                    help="per-VC buffer depths in flits (comma list)")
+    rs.add_argument("--depths", type=_sizes, default=(2, 10, 38),
+                    help="per-hop header lags in cycles (comma list; the "
+                         "paper's 100 ns router is 38 cycles)")
+    rs.add_argument("--load", type=float, default=4.0,
+                    help="offered load Gbit/s/host (default 4)")
+    rs.add_argument("--pattern", default="uniform",
+                    choices=["uniform", "bit_reversal", "neighboring"])
+    rs.add_argument("--n", type=int, default=16)
+    rs.add_argument("--full", action="store_true", help="paper-scale windows")
+    rs.add_argument("--seed", type=int, default=0)
+    rs.add_argument("--workers", type=_workers, default=None,
+                    help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    rs.add_argument("--out", default=None, metavar="FILE",
+                    help="write the sweep artifact JSON to FILE")
 
     sw = sub.add_parser(
         "sweep",
@@ -351,14 +386,19 @@ def _cmd_fig9(args) -> None:
 
 def _cmd_fig10(args) -> None:
     from repro.experiments import fig10, format_curves
-    from repro.sim import SimConfig
+    from repro.sim import RouterConfig, SimConfig
     from repro.viz import ascii_plot
 
-    config = SimConfig() if args.full else SimConfig(
-        warmup_ns=4000, measure_ns=12000, drain_ns=24000
-    )
+    kwargs = {} if args.full else dict(warmup_ns=4000, measure_ns=12000, drain_ns=24000)
+    sim_engine = args.sim_engine
+    if args.router is not None:
+        kwargs["router"] = RouterConfig(mode=args.router)
+        if args.router == "pipelined" and sim_engine != "flit":
+            # The pipelined model exists only in the flit engine.
+            sim_engine = "flit"
+    config = SimConfig(**kwargs)
     curves = fig10(args.pattern, loads=args.loads, n=args.n, config=config, seed=args.seed,
-                   workers=args.workers, sim_engine=args.sim_engine)
+                   workers=args.workers, sim_engine=sim_engine)
     print(format_curves(curves, f"Figure 10 ({args.pattern})"))
     if len(args.loads) > 1:
         print()
@@ -426,6 +466,41 @@ def _cmd_sweep(args) -> None:
               f"{s.misses} misses, {s.stores} stores, "
               f"{s.inflight_dedup} deduped in flight, "
               f"{s.bytes_written}B written, {s.bytes_read}B read")
+
+
+def _cmd_router_sweep(args) -> None:
+    import json
+    from dataclasses import asdict
+
+    from repro.experiments import format_router_sweep, router_sweep
+    from repro.sim import SimConfig
+
+    config = SimConfig() if args.full else SimConfig(
+        warmup_ns=4000, measure_ns=12000, drain_ns=24000
+    )
+    rows = router_sweep(
+        vcs=args.vcs, buffers=args.buffers, depths=args.depths,
+        load=args.load, n=args.n, pattern_name=args.pattern,
+        config=config, seed=args.seed, workers=args.workers,
+    )
+    print(format_router_sweep(rows))
+    if args.out:
+        payload = {
+            "experiment": "router-sweep",
+            "n": args.n,
+            "seed": args.seed,
+            "load": args.load,
+            "pattern": args.pattern,
+            "full": bool(args.full),
+            "vcs": list(args.vcs),
+            "buffers": list(args.buffers),
+            "depths": list(args.depths),
+            "rows": [asdict(r) for r in rows],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
 
 
 def _cmd_theory(args) -> None:
@@ -761,6 +836,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "fig8": lambda a: _cmd_hop_sweep(a, "fig8"),
         "fig9": _cmd_fig9,
         "fig10": _cmd_fig10,
+        "router-sweep": _cmd_router_sweep,
         "sweep": _cmd_sweep,
         "theory": _cmd_theory,
         "balance": _cmd_balance,

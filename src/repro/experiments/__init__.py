@@ -26,6 +26,14 @@ from repro.experiments.related import (
     greedy_vs_dsn_routing,
 )
 from repro.experiments.placement import placement_table
+from repro.experiments.routersweep import (
+    DEFAULT_BUFFERS,
+    DEFAULT_DEPTHS,
+    DEFAULT_VCS,
+    RouterSweepRow,
+    format_router_sweep,
+    router_sweep,
+)
 from repro.experiments.robustness import bisection_table, fault_table, rerouting_table
 from repro.experiments.sweeps import PAPER_SIZES, PAPER_TRIO, make_topology, paper_trio
 from repro.experiments.variance import RandomEnsembleStats, format_ensemble, random_ensemble
@@ -76,6 +84,12 @@ __all__ = [
     "fault_table",
     "rerouting_table",
     "placement_table",
+    "RouterSweepRow",
+    "router_sweep",
+    "format_router_sweep",
+    "DEFAULT_VCS",
+    "DEFAULT_BUFFERS",
+    "DEFAULT_DEPTHS",
     "Claim",
     "ClaimResult",
     "all_claims",

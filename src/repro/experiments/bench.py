@@ -8,7 +8,12 @@ cross-validates the packet-level and flit-level simulators at zero
 load and gates the flit simulator's event-driven run loop -- a Fig.
 10-style sweep must be byte-identical to the cycle-scan reference at
 every load and beat it by the documented speedup floors
-(``event_engine_speedup``) -- (d) gates the fault-injection engine -- a timed link-failure schedule
+(``event_engine_speedup``) and the pipelined router model
+(``router_pipeline``: a lag-matched pipelined run must be
+byte-identical to the ideal router at zero load, other depths must
+match the closed-form offset exactly, sweeps must be deterministic
+across repeats and worker counts, and router parameters must be
+store-key-sensitive only in pipelined mode) -- (d) gates the fault-injection engine -- a timed link-failure schedule
 must reroute deterministically and account for every measured packet,
 and a tiny degradation point must flow through the streaming metrics
 path -- (e) gates the large-n metrics engine -- the blocked streaming
@@ -265,6 +270,145 @@ def _event_engine_speedup(reps: int = 2) -> dict:
         "floor_mid": EVENT_SPEEDUP_FLOOR_MID,
         "identical": identical,
         "ok": identical and low >= EVENT_SPEEDUP_FLOOR_LOW and mid >= EVENT_SPEEDUP_FLOOR_MID,
+    }
+
+
+def _router_pipeline_gate(workers: int) -> dict:
+    """Pipelined-router gate (see docs/performance.md, Router models).
+
+    Four contracts on DSN-V (n=16) under the Section V-A custom
+    routing:
+
+    * **zero-load identity** -- at a contention-free load, a pipelined
+      router whose per-hop lag equals the ideal model's lumped delay
+      (38 cycles at the defaults) must reproduce the ideal run *byte
+      for byte*;
+    * **closed-form offset** -- at any other depth, every delivered
+      packet's latency must equal its ideal latency plus exactly
+      ``(hops + 1) * (lag - 38) * flit_time_ns`` (compared as
+      multisets: LRG vs round-robin arbitration may permute delivery
+      order even when timing is untouched);
+    * **determinism** -- a router sweep fanned over a ``workers``-wide
+      pool must equal the serial sweep row for row (the
+      ``REPRO_WORKERS`` contract), and a repeated pipelined run must be
+      bit-identical;
+    * **store keys** -- pipelined stage parameters must reach
+      ``sim_run_key`` (different depths, different digests) while ideal
+      keys stay independent of them (inert parameters never fragment
+      the store).
+
+    Wall-clock cost of the staged model (which forces the cycle-scan
+    loop) is measured against the ideal event engine and reported, not
+    gated.
+    """
+    import dataclasses
+    import time
+
+    from repro import store
+    from repro.core.extensions import DSNVTopology, dsn_route_extended
+    from repro.experiments.routersweep import router_sweep
+    from repro.sim import (
+        FlitLevelSimulator,
+        RouterConfig,
+        SimConfig,
+        dsn_custom_adapter,
+    )
+    from repro.traffic import make_pattern
+
+    base = dict(warmup_ns=2000, measure_ns=12000, drain_ns=12000, seed=3)
+    topo = DSNVTopology(16)
+    pattern = make_pattern("uniform", topo.n * 4)
+    flit_ns = SimConfig().flit_time_ns
+    ideal_cycles = 38  # ceil(100 ns router delay / 2.67 ns flit time)
+
+    def run(rcfg, load):
+        cfg = SimConfig(router=rcfg, **base)
+        adapter = dsn_custom_adapter(
+            lambda s, t: dsn_route_extended(topo, s, t), num_vcs=cfg.num_vcs
+        )
+        sim = FlitLevelSimulator(topo, adapter, pattern, load, cfg)
+        t0 = time.perf_counter()
+        res = sim.run()
+        return res, time.perf_counter() - t0
+
+    # Zero-load identity: lag-matched pipelined == ideal, byte for byte.
+    ideal, _ = run(RouterConfig(mode="ideal"), 0.1)
+    matched, _ = run(RouterConfig.with_depth(ideal_cycles), 0.1)
+    zero_load_identical = dataclasses.asdict(ideal) == dataclasses.asdict(matched)
+
+    # Closed-form offset at a shallower and a deeper pipeline.
+    offsets = {}
+    for lag in (10, 44):
+        rp, _ = run(RouterConfig.with_depth(lag), 0.1)
+        adjusted = sorted(
+            lat - (hops + 1) * (lag - ideal_cycles) * flit_ns
+            for lat, hops in zip(rp.latencies_ns, rp.hop_counts)
+        )
+        reference = sorted(ideal.latencies_ns)
+        offsets[lag] = len(adjusted) == len(reference) and all(
+            abs(a - b) < 1e-6 for a, b in zip(adjusted, reference)
+        )
+    offset_exact = all(offsets.values())
+
+    # Determinism: repeated run and serial-vs-parallel sweep.
+    r1, pipe_s = run(RouterConfig.with_depth(ideal_cycles), 2.0)
+    r2, _ = run(RouterConfig.with_depth(ideal_cycles), 2.0)
+    repeat_identical = store.encode_result(r1) == store.encode_result(r2)
+    _, ideal_load_s = run(RouterConfig(mode="ideal"), 2.0)
+
+    saved_store = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = "off"  # identity must come from the sim,
+    try:                               # not from one worker's stored rows
+        sweep_cfg = SimConfig(**base)
+        sweep_args = dict(
+            vcs=(4,), buffers=(8, 33), depths=(2, ideal_cycles),
+            load=2.0, n=16, config=sweep_cfg, seed=1,
+        )
+        rows_serial = router_sweep(workers=0, **sweep_args)
+        rows_parallel = router_sweep(workers=workers, **sweep_args)
+    finally:
+        if saved_store is None:
+            os.environ.pop("REPRO_STORE", None)
+        else:
+            os.environ["REPRO_STORE"] = saved_store
+    parallel_identical = rows_serial == rows_parallel
+
+    # Store keys: stage parameters in, inert ideal parameters out.
+    def key(rcfg):
+        cfg = SimConfig(router=rcfg, **base)
+        return store.sim_run_key(topo, "custom", "uniform", 2.0, cfg, 3, engine="flit")
+
+    keys_param_sensitive = (
+        key(RouterConfig.with_depth(2)).digest
+        != key(RouterConfig.with_depth(ideal_cycles)).digest
+    )
+    keys_ideal_invariant = (
+        key(RouterConfig(mode="ideal")).digest
+        == key(RouterConfig(mode="ideal", rc_cycles=5, vc_buffer_flits=4)).digest
+    )
+
+    return {
+        "n": topo.n,
+        "ideal_router_cycles": ideal_cycles,
+        "zero_load_identical": zero_load_identical,
+        "offset_exact_by_lag": {str(k): v for k, v in offsets.items()},
+        "offset_exact": offset_exact,
+        "repeat_identical": repeat_identical,
+        "sweep_rows": len(rows_serial),
+        "parallel_identical": parallel_identical,
+        "keys_param_sensitive": keys_param_sensitive,
+        "keys_ideal_invariant": keys_ideal_invariant,
+        "ideal_event_s": round(ideal_load_s, 4),
+        "pipelined_s": round(pipe_s, 4),
+        "cost_ratio": round(pipe_s / ideal_load_s, 2) if ideal_load_s > 0 else float("inf"),
+        "ok": (
+            zero_load_identical
+            and offset_exact
+            and repeat_identical
+            and parallel_identical
+            and keys_param_sensitive
+            and keys_ideal_invariant
+        ),
     }
 
 
@@ -755,6 +899,18 @@ def run_bench(
         checks["event_engine_identical"] = evt_info["identical"]
         checks["event_engine_speedup"] = evt_info["ok"]
 
+        # --- pipelined-router gate ------------------------------------
+        with timer.stage("router_pipeline"):
+            router_info = _router_pipeline_gate(workers)
+        checks["router_zero_load_identity"] = router_info["zero_load_identical"]
+        checks["router_offset_closed_form"] = router_info["offset_exact"]
+        checks["router_deterministic"] = (
+            router_info["repeat_identical"] and router_info["parallel_identical"]
+        )
+        checks["router_store_keys"] = (
+            router_info["keys_param_sensitive"] and router_info["keys_ideal_invariant"]
+        )
+
         # --- fault-injection smoke ------------------------------------
         with timer.stage("fault_reroute_smoke"):
             checks["fault_reroute_deterministic"], fault_res = _fault_smoke()
@@ -860,6 +1016,7 @@ def run_bench(
             "speedup_warm_vs_cold": round(speedup, 2),
             "crossval_rel_error": round(rel, 4),
             "event_engine": evt_info,
+            "router_pipeline": router_info,
             "identity_cases": [list(c) for c in identity_cases],
             "fault_smoke": {
                 "packets_dropped": fault_res.packets_dropped,
@@ -897,6 +1054,16 @@ def run_bench(
         f"{evt_info['speedup_mid']:.1f}x at mid load "
         f"(floor {EVENT_SPEEDUP_FLOOR_MID:.1f}x), "
         f"results {'identical' if evt_info['identical'] else 'DIFFER'}"
+    )
+    print(
+        f"pipelined router: zero-load "
+        f"{'identical' if router_info['zero_load_identical'] else 'DIFFERS'} at the "
+        f"lag-matched depth, closed-form offset "
+        f"{'exact' if router_info['offset_exact'] else 'VIOLATED'}, "
+        f"{router_info['sweep_rows']}-row sweep "
+        f"{'deterministic' if router_info['parallel_identical'] else 'DIFFERS'} across "
+        f"workers, staged-model cost {router_info['cost_ratio']:.1f}x the ideal event "
+        f"engine (reported, not gated)"
     )
     print(
         f"telemetry: disabled ratio {tel_info['disabled_ratio']:.3f} "

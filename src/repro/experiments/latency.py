@@ -93,7 +93,7 @@ def _make_adapter(topo, routing: str, cfg: SimConfig, rng):
                 route_cache[key] = dsn_route_extended(topo, s, t)
             return route_cache[key]
 
-        return dsn_custom_adapter(route_fn)
+        return dsn_custom_adapter(route_fn, num_vcs=cfg.num_vcs)
     if routing == "minimal_custom":
         from repro.sim import MinimalCustomEscapeAdapter
 

@@ -1,0 +1,135 @@
+"""Router design-space sweep: VCs x buffer depth x pipeline depth.
+
+The paper fixes the router at 4 VCs and a 100 ns lumped header delay
+(Section VII-A). The pipelined router model (:mod:`repro.sim.router`)
+opens those choices up; this driver sweeps the three microarchitecture
+axes over the DSN-V custom routing (Section V-A discipline, enforced
+per-hop inside the router's VA stage) at one offered load:
+
+* ``vcs`` -- virtual channels per physical channel (DSN-V needs at
+  least 4: SUCC/shortcut, UP, PRED, EXTRA classes);
+* ``buffers`` -- per-VC input buffer depth in flits (below the packet
+  size the switch degrades from virtual cut-through to wormhole);
+* ``depths`` -- per-router header lag in cycles
+  (:meth:`~repro.sim.router.RouterConfig.with_depth`; the paper's
+  100 ns corresponds to 38 cycles at the default flit time).
+
+Every grid point is one flit-level simulation, fanned out through the
+same :func:`~repro.experiments.latency._curve_point` /
+:func:`repro.store.dedup_map` machinery as the Fig. 10 curves -- so
+points parallelize over ``workers``, duplicates run once, and repeated
+sweeps are served from the run store (router parameters are part of
+the store key). An ideal-router reference point per VC count anchors
+the pipelined-vs-ideal overhead columns in docs/performance.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import store
+from repro.experiments.latency import _curve_point
+from repro.sim.config import SimConfig
+from repro.sim.router.config import RouterConfig
+
+__all__ = [
+    "RouterSweepRow",
+    "router_sweep",
+    "format_router_sweep",
+    "DEFAULT_VCS",
+    "DEFAULT_BUFFERS",
+    "DEFAULT_DEPTHS",
+]
+
+#: Default grid: DSN-V's minimum VC count and one doubling; VCT-depth
+#: buffers against a wormhole-regime depth; and router lags bracketing
+#: the paper's 100 ns (= 38 cycles at the default flit time).
+DEFAULT_VCS = (4, 8)
+DEFAULT_BUFFERS = (8, 33)
+DEFAULT_DEPTHS = (2, 10, 38)
+
+
+@dataclass(frozen=True)
+class RouterSweepRow:
+    """One grid point of the router design-space sweep."""
+
+    num_vcs: int
+    vc_buffer_flits: int | None  #: None marks the ideal-router reference
+    hop_lag_cycles: int | None  #: None marks the ideal-router reference
+    avg_latency_ns: float
+    p99_latency_ns: float
+    accepted_gbps: float
+    avg_hops: float
+    delivered: int
+
+
+def _row(point, num_vcs: int, buf: int | None, lag: int | None) -> RouterSweepRow:
+    return RouterSweepRow(
+        num_vcs=num_vcs,
+        vc_buffer_flits=buf,
+        hop_lag_cycles=lag,
+        avg_latency_ns=point.avg_latency_ns,
+        p99_latency_ns=point.p99_latency_ns,
+        accepted_gbps=point.accepted_gbps,
+        avg_hops=point.avg_hops,
+        delivered=point.delivered_measured,
+    )
+
+
+def router_sweep(
+    vcs: tuple[int, ...] = DEFAULT_VCS,
+    buffers: tuple[int, ...] = DEFAULT_BUFFERS,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+    load: float = 4.0,
+    n: int = 16,
+    pattern_name: str = "uniform",
+    kind: str = "dsn_v",
+    routing: str = "custom",
+    config: SimConfig | None = None,
+    seed: int = 0,
+    workers: int | None = None,
+) -> list[RouterSweepRow]:
+    """Sweep the pipelined router's three axes on one traffic point.
+
+    Returns one :class:`RouterSweepRow` per ``vcs x buffers x depths``
+    grid point, plus one ideal-router reference row per VC count
+    (``vc_buffer_flits`` / ``hop_lag_cycles`` of ``None``), all at the
+    same ``load``. All points fan out through one
+    :func:`repro.store.dedup_map` call, so ``workers`` (or
+    ``REPRO_WORKERS``) parallelizes the whole grid with results
+    identical to a serial run.
+    """
+    cfg = config or SimConfig()
+    grid: list[tuple[int, int | None, int | None]] = []
+    jobs = []
+    for v in vcs:
+        ideal = replace(cfg, num_vcs=v, router=RouterConfig(mode="ideal"))
+        grid.append((v, None, None))
+        jobs.append((kind, pattern_name, load, n, ideal, seed, routing, "flit"))
+        for buf in buffers:
+            for lag in depths:
+                point_cfg = replace(
+                    cfg,
+                    num_vcs=v,
+                    router=RouterConfig.with_depth(lag, vc_buffer_flits=buf),
+                )
+                grid.append((v, buf, lag))
+                jobs.append((kind, pattern_name, load, n, point_cfg, seed, routing, "flit"))
+    points = store.dedup_map(_curve_point, jobs, workers=workers)
+    return [_row(p, v, buf, lag) for p, (v, buf, lag) in zip(points, grid)]
+
+
+def format_router_sweep(rows: list[RouterSweepRow]) -> str:
+    """Markdown table of a sweep (ideal reference rows marked)."""
+    lines = [
+        "| VCs | buf (flits) | hop lag (cyc) | avg lat (ns) | p99 (ns) | accepted (Gbps) |",
+        "|----:|------------:|--------------:|-------------:|---------:|----------------:|",
+    ]
+    for r in rows:
+        buf = "ideal" if r.vc_buffer_flits is None else str(r.vc_buffer_flits)
+        lag = "ideal" if r.hop_lag_cycles is None else str(r.hop_lag_cycles)
+        lines.append(
+            f"| {r.num_vcs} | {buf} | {lag} | {r.avg_latency_ns:.1f} "
+            f"| {r.p99_latency_ns:.1f} | {r.accepted_gbps:.2f} |"
+        )
+    return "\n".join(lines)

@@ -30,6 +30,13 @@ from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import FLIT_ENGINES, SimConfig, resolve_flit_engine
 from repro.sim.engine import CycleEventQueue, EventQueue
 from repro.sim.flitsim import FlitLevelSimulator
+from repro.sim.router import (
+    ROUTER_MODES,
+    LRGArbiter,
+    PipelinedRouter,
+    RouterConfig,
+    resolve_router,
+)
 from repro.sim.metrics import SimResult
 from repro.sim.network import NetworkSimulator
 from repro.sim.packet import Packet
@@ -46,6 +53,11 @@ __all__ = [
     "CycleEventQueue",
     "FLIT_ENGINES",
     "resolve_flit_engine",
+    "RouterConfig",
+    "ROUTER_MODES",
+    "resolve_router",
+    "PipelinedRouter",
+    "LRGArbiter",
     "Packet",
     "OutPort",
     "PoissonGaps",

@@ -34,6 +34,7 @@ __all__ = [
     "DORAdapter",
     "MinimalCustomEscapeAdapter",
     "dsn_custom_adapter",
+    "DSN_V_MIN_VCS",
 ]
 
 
@@ -50,6 +51,11 @@ class SimOption:
 
 class RoutingAdapter:
     """Interface the simulator drives."""
+
+    #: Fewest virtual channels the adapter's channel-class discipline
+    #: needs for deadlock freedom; the simulators reject a config with
+    #: fewer (e.g. DSN-V's Section V-A map spans 4 classes).
+    min_vcs: int = 1
 
     def initial_state(self, src_switch: int, dst_switch: int) -> Any:
         raise NotImplementedError
@@ -74,6 +80,7 @@ class AdaptiveEscapeAdapter(RoutingAdapter):
     ):
         if num_vcs < 2:
             raise ValueError("adaptive + escape needs at least 2 VCs")
+        self.min_vcs = 2
         self.routing = routing
         self.num_vcs = num_vcs
         self.rng = rng
@@ -185,6 +192,7 @@ class DORAdapter(RoutingAdapter):
             raise TypeError("DORAdapter requires a mesh or torus topology")
         if num_vcs < 2:
             raise ValueError("DOR on a torus needs at least 2 VCs for the dateline")
+        self.min_vcs = 2
         self.topo = topo
         self.num_vcs = num_vcs
 
@@ -239,6 +247,7 @@ class MinimalCustomEscapeAdapter(RoutingAdapter):
             )
         if num_vcs < 4:
             raise ValueError("needs 4 VCs: 3 escape classes + >=1 adaptive")
+        self.min_vcs = 4
         self.topo = topo
         self.num_vcs = num_vcs
         self.rng = rng
@@ -310,13 +319,33 @@ _KIND_VC = {
 }
 
 
-def dsn_custom_adapter(route_fn: Callable[[int, int], RouteResult]) -> SourceRoutedAdapter:
+#: VC classes the DSN-V discipline distinguishes (max of ``_KIND_VC`` + 1).
+DSN_V_MIN_VCS = max(_KIND_VC.values()) + 1
+
+
+def dsn_custom_adapter(
+    route_fn: Callable[[int, int], RouteResult], num_vcs: int | None = None
+) -> SourceRoutedAdapter:
     """Adapter running a DSN custom routing function (e.g.
     ``dsn_route_extended``) inside the simulator, with the DSN-V
-    kind-to-VC mapping."""
+    kind-to-VC mapping.
+
+    ``num_vcs`` (when given) is validated against the discipline's
+    channel-class count up front: Theorem 3's deadlock-freedom argument
+    assigns UP hops to VC 1, PRED to VC 2 and EXTRA to VC 3, so fewer
+    than :data:`DSN_V_MIN_VCS` VCs cannot carry it.
+    """
+    if num_vcs is not None and num_vcs < DSN_V_MIN_VCS:
+        raise ValueError(
+            f"DSN-V channel discipline (Section V-A / Theorem 3) needs "
+            f"{DSN_V_MIN_VCS} virtual channels (SUCC/shortcut=0, UP=1, "
+            f"PRED=2, EXTRA=3), got num_vcs={num_vcs}"
+        )
 
     def to_hops(s: int, t: int) -> list[tuple[int, int]]:
         result = route_fn(s, t)
         return [(h.dst, _KIND_VC[h.kind]) for h in result.hops]
 
-    return SourceRoutedAdapter(to_hops)
+    adapter = SourceRoutedAdapter(to_hops)
+    adapter.min_vcs = DSN_V_MIN_VCS
+    return adapter

@@ -17,9 +17,17 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.sim.router.config import ROUTER_MODES, RouterConfig, resolve_router
 from repro.util import check_positive
 
-__all__ = ["SimConfig", "FLIT_ENGINES", "resolve_flit_engine"]
+__all__ = [
+    "SimConfig",
+    "FLIT_ENGINES",
+    "resolve_flit_engine",
+    "RouterConfig",
+    "ROUTER_MODES",
+    "resolve_router",
+]
 
 #: Run-loop implementations of the flit-level simulator. Both produce
 #: bit-identical results (the contract tests/test_sim_flit.py pins);
@@ -55,6 +63,11 @@ class SimConfig:
     measure_ns: float = 30_000.0
     drain_ns: float = 40_000.0  #: extra time allowed to drain measured packets
     seed: int = 1
+    #: Router model of the flit engine (``ideal`` keeps the lumped
+    #: ``router_delay_ns`` pipeline above; ``pipelined`` switches to the
+    #: staged RC/VA/SA/ST microarchitecture -- see repro.sim.router).
+    #: The default resolves ``REPRO_ROUTER`` at construction time.
+    router: RouterConfig = field(default_factory=RouterConfig)
 
     def __post_init__(self) -> None:
         check_positive("hosts_per_switch", self.hosts_per_switch)

@@ -15,7 +15,11 @@ modeling:
 * a per-cycle crossbar constraint: one flit per output port per cycle,
   with round-robin switch allocation among competing inputs;
 * a router pipeline of ``ceil(router_delay / flit_time)`` cycles per
-  header and link pipelines of ``ceil(link_delay / flit_time)`` cycles.
+  header and link pipelines of ``ceil(link_delay / flit_time)`` cycles
+  -- or, in pipelined-router mode (``REPRO_ROUTER=pipelined`` / a
+  :class:`~repro.sim.router.RouterConfig` on the config), explicit
+  RC/VA/SA/ST stages with least-recently-granted arbitration and
+  per-VC input buffers (see :mod:`repro.sim.router`).
 
 One cycle is one flit time (256 bits / 96 Gbps = 2.67 ns by default).
 
@@ -78,6 +82,7 @@ from repro.sim.arrivals import PoissonGaps
 from repro.sim.config import SimConfig, resolve_flit_engine
 from repro.sim.engine import CycleEventQueue
 from repro.sim.metrics import FaultRecord, SimResult
+from repro.sim.router.pipeline import PipelinedRouter
 from repro.telemetry.samplers import SimSampler
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
@@ -174,13 +179,23 @@ class _InputUnit:
     ejection to ``host``.
     """
 
-    __slots__ = ("queue", "state", "packet", "route_done_cycle", "out_unit", "inject_left", "next_flit")
+    __slots__ = (
+        "queue",
+        "state",
+        "packet",
+        "route_done_cycle",
+        "sa_ready_cycle",
+        "out_unit",
+        "inject_left",
+        "next_flit",
+    )
 
     def __init__(self):
         self.queue: deque[tuple[int, int]] = deque()
         self.state = _IDLE
         self.packet: _FlitPacket | None = None
         self.route_done_cycle = 0
+        self.sa_ready_cycle = 0  # pipelined router: cycle the VA grant clears
         self.out_unit: int | None = _NO_OUT
         self.inject_left = 0  # injection units: flits still to stream in
         self.next_flit = 0
@@ -252,9 +267,18 @@ class FlitLevelSimulator:
             if any(e.faults.dead_switches for e in fault_schedule.events):
                 raise ValueError("dynamic fault injection supports link faults only")
             fault_schedule.validate(topo)
+        rcfg = self.cfg.router
+        if buffer_flits is None and rcfg.pipelined and rcfg.vc_buffer_flits is not None:
+            buffer_flits = rcfg.vc_buffer_flits
         self.buffer_flits = buffer_flits if buffer_flits is not None else self.cfg.packet_flits
         if self.buffer_flits < 1:
             raise ValueError("buffer_flits must be >= 1")
+        min_vcs = getattr(adapter, "min_vcs", 1)
+        if self.cfg.num_vcs < min_vcs:
+            raise ValueError(
+                f"{type(adapter).__name__} needs at least {min_vcs} virtual channels "
+                f"(its channel-class discipline), got num_vcs={self.cfg.num_vcs}"
+            )
         if pattern.num_hosts != topo.n * self.cfg.hosts_per_switch:
             raise ValueError("traffic pattern size does not match the network")
         self.num_hosts = pattern.num_hosts
@@ -263,6 +287,14 @@ class FlitLevelSimulator:
         self._flit_ns = self.cfg.flit_time_ns  # hot-path cache of the property
         self.router_cycles = max(1, math.ceil(self.cfg.router_delay_ns / self._flit_ns))
         self.link_cycles = max(1, math.ceil(self.cfg.link_delay_ns / self._flit_ns))
+        # Pipelined router mode: header processing becomes the staged
+        # RC/VA/SA/ST model, so the lumped per-hop pipeline above
+        # shrinks to the RC stage alone (VA/SA/ST are simulated cycle
+        # by cycle by the PipelinedRouter, see repro.sim.router).
+        self._router: PipelinedRouter | None = None
+        if rcfg.pipelined:
+            self.router_cycles = rcfg.rc_cycles
+            self._router = PipelinedRouter(self, rcfg)
 
         v = self.cfg.num_vcs
         # Dense unit ids: injection units (host-major, VC-minor) first,
@@ -522,7 +554,13 @@ class FlitLevelSimulator:
         Returns whether any unit is left waiting for a VC -- such a
         unit re-runs allocation (and the adapter's RNG draws) every
         cycle, so the event loop must keep ticking while one exists.
+
+        In pipelined-router mode this phase is the router's VA stage
+        (LRG-arbitrated, cycle-start bids) instead of the greedy
+        first-fit scan below.
         """
+        if self._router is not None:
+            return self._router.va_tick(header_sorted, now)
         waiting = False
         credits = self.credits
         units = self.units
@@ -582,8 +620,11 @@ class FlitLevelSimulator:
         port order), so each resource's request list is already sorted
         and the round-robin pointer walks it exactly as before. Returns
         the number of resources with at least one request (== flits
-        sent this cycle).
+        sent this cycle). In pipelined-router mode this phase is the
+        router's SA/ST stages (LRG-arbitrated, VA-latency gated).
         """
+        if self._router is not None:
+            return self._router.sa_tick(busy_sorted, now)
         requests: dict[int, list[int]] = {}
         credits = self.credits
         for uid in busy_sorted:
@@ -772,6 +813,7 @@ class FlitLevelSimulator:
         u.out_unit = _NO_OUT
         u.inject_left = 0
         u.next_flit = 0
+        u.sa_ready_cycle = 0
         self._busy.discard(uid)
         self._headers.discard(uid)
         return dropped
@@ -950,11 +992,20 @@ class FlitLevelSimulator:
         self._arr_min_ns = float(np.min(self._next_arrival))
         self._arr_cycle = None
 
-        if self.engine == "event":
+        if self._router is not None:
+            # The staged router arbitrates VA/SA every cycle, so the
+            # event engine's send-only burst windows (which assume the
+            # ideal model's greedy allocation) do not apply: both
+            # engine spellings run the linear scan, trivially
+            # byte-identical.
+            self._run_cycle(horizon)
+        elif self.engine == "event":
             self._run_event(horizon)
         else:
             self._run_cycle(horizon)
 
+        if self._router is not None:
+            self._router.flush_telemetry()
         if self._last_fault_ns is not None:
             window = self._measure_end - max(self._last_fault_ns, self._measure_start)
             self._result.post_fault_window_ns = max(0.0, window)
@@ -1286,6 +1337,8 @@ class FlitLevelSimulator:
         """Feed the sampler one snapshot (observation only: no sim state
         or RNG stream is touched, so results match a telemetry-off run
         bit for bit)."""
+        if self._router is not None:
+            self._router.sample_stages()
         occ = (
             (self.buffer_flits - np.asarray(self.credits[self._inj_units :]))
             .reshape(-1, self._v)

@@ -1,0 +1,51 @@
+"""Deterministic least-recently-granted (LRG) arbitration.
+
+The pipelined router's VA and SA stages arbitrate with the MockSim
+discipline (SNIPPETS.md snippets 2-3): among the requesters of one
+resource, grant the one whose last grant on that resource is oldest.
+A global grant sequence number plays the role of MockSim's per-port
+LRG counters; never-granted requesters rank oldest of all and ties
+break on the lower requester id -- so the outcome is a pure function
+of the grant history and the request set, independent of dict order or
+``PYTHONHASHSEED`` (the determinism contract ``REPRO_WORKERS`` and the
+run store rely on).
+
+Unlike the ideal model's round-robin pointer (which advances past the
+granted *index* and so depends on the momentary request-list shape),
+LRG is starvation-free per resource under persistent requests: a
+requester that keeps losing only ages, and aging wins.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LRGArbiter"]
+
+
+class LRGArbiter:
+    """Least-recently-granted arbiter over ``(resource, requester)`` keys."""
+
+    __slots__ = ("_last", "_seq")
+
+    def __init__(self) -> None:
+        self._last: dict[tuple[int, int], int] = {}
+        self._seq = 0
+
+    def grant(self, resource: int, requesters: list[int]) -> int:
+        """Grant ``resource`` to the least-recently-granted requester.
+
+        ``requesters`` must be non-empty; ascending order is not
+        required (the min below is order-independent), but callers pass
+        ascending unit ids so the tiebreak matches the canonical port
+        order. The grant is recorded even for a single requester --
+        history must reflect every grant or a later contender would
+        compare against a stale past.
+        """
+        last = self._last
+        winner = min(requesters, key=lambda r: (last.get((resource, r), -1), r))
+        self._seq += 1
+        last[(resource, winner)] = self._seq
+        return winner
+
+    def last_grant_seq(self, resource: int, requester: int) -> int:
+        """Grant sequence of the last win (-1 if never granted)."""
+        return self._last.get((resource, requester), -1)

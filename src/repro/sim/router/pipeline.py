@@ -1,0 +1,304 @@
+"""The pipelined multi-VC router model: RC / VA / SA / ST stages.
+
+One :class:`PipelinedRouter` instance drives *all* switches of a
+:class:`~repro.sim.flitsim.FlitLevelSimulator` run (every router is
+identical, and the simulator's dense unit-id layout already is the
+per-router port/VC structure). It replaces the ideal model's two
+per-cycle phases:
+
+* :meth:`va_tick` stands in for ``_route_and_allocate``: a header
+  leaves the RC stage ``rc_cycles`` after arrival, then bids for a
+  downstream VC every cycle until granted. Candidates come from the
+  routing adapter in preference order exactly as in the ideal model --
+  which is how DSN-V's UP/EXTRA channel classes reach the allocator:
+  the :func:`~repro.sim.adapters.dsn_custom_adapter` options carry the
+  Section V-A kind-to-VC mapping, so the per-hop VC discipline is
+  enforced *inside* VA. Unlike the ideal model's greedy in-order
+  first-fit, contenders for the same output VC are resolved by a
+  deterministic LRG arbiter, and losers retry next cycle (a VA stage
+  bubble the ideal model cannot express).
+* :meth:`sa_tick` stands in for ``_switch_allocation``: an allocated
+  input earliest wins the crossbar ``va_cycles`` after its VA grant
+  (:attr:`_InputUnit.sa_ready_cycle`), one flit per output resource
+  per cycle, LRG-arbitrated, gated on downstream credits (a failed
+  credit check is a counted credit stall). A granted flit reaches the
+  next router ``(sa_cycles - 1) + (st_cycles - 1)`` cycles later than
+  the ideal model's send -- the depth of the SA/ST stages beyond the
+  single cycle the ideal model folds into its completion cycle.
+
+Credit flow is unchanged from the ideal model: the freed input slot's
+credit starts back upstream at the grant cycle and lands after the
+reverse-link latency, so the per-VC buffer depth (``vc_buffer_flits``)
+bounds the in-flight window per channel exactly as ``buffer_flits``
+does for the ideal router.
+
+Telemetry (``router.*``): VA/SA request and grant totals, credit
+stalls, and per-stage occupancy snapshots at the sampler cadence. The
+counters are plain ints flushed once at the end of the run, so the
+telemetry-off run stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import telemetry
+from repro.sim.router.arbiter import LRGArbiter
+from repro.sim.router.config import RouterConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flitsim imports us lazily)
+    from repro.sim.flitsim import FlitLevelSimulator
+
+__all__ = ["PipelinedRouter"]
+
+#: Unit-state constants, bound from flitsim on first router construction
+#: (a module-level import would race flitsim's own partial import: it
+#: pulls :mod:`repro.sim.router.config` before defining the states).
+_IDLE = _ROUTING = _WAIT_VC = _ACTIVE = -1
+_NO_OUT = None
+_bound = False
+
+
+def _bind_states() -> None:
+    global _IDLE, _ROUTING, _WAIT_VC, _ACTIVE, _NO_OUT, _bound
+    if not _bound:
+        from repro.sim import flitsim
+
+        _IDLE, _ROUTING, _WAIT_VC, _ACTIVE = (
+            flitsim._IDLE, flitsim._ROUTING, flitsim._WAIT_VC, flitsim._ACTIVE,
+        )
+        _NO_OUT = flitsim._NO_OUT
+        _bound = True
+
+
+class PipelinedRouter:
+    """Staged router microarchitecture over a simulator's unit array."""
+
+    __slots__ = (
+        "sim",
+        "cfg",
+        "va_arb",
+        "sa_arb",
+        "st_lag",
+        "rc_done",
+        "va_requests",
+        "va_grants",
+        "sa_requests",
+        "sa_grants",
+        "credit_stalls",
+        "occ_samples",
+    )
+
+    def __init__(self, sim: "FlitLevelSimulator", cfg: RouterConfig):
+        _bind_states()
+        self.sim = sim
+        self.cfg = cfg
+        self.va_arb = LRGArbiter()
+        self.sa_arb = LRGArbiter()
+        #: extra cycles a granted flit spends in SA/ST beyond the one
+        #: cycle the ideal model charges (its send *is* its traversal).
+        self.st_lag = (cfg.sa_cycles - 1) + (cfg.st_cycles - 1)
+        self.rc_done = 0
+        self.va_requests = 0
+        self.va_grants = 0
+        self.sa_requests = 0
+        self.sa_grants = 0
+        self.credit_stalls = 0
+        self.occ_samples = 0
+
+    # ------------------------------------------------------------------
+    # VA stage (also retires RC)
+    # ------------------------------------------------------------------
+    def va_tick(self, header_sorted: list[int], now: int) -> bool:
+        """VC allocation for every unit holding a header.
+
+        ``header_sorted`` is the ascending-id snapshot of ROUTING /
+        WAIT_VC units (the same subsequence the ideal model walks).
+        Bids are collected read-only first, then one grant per output
+        VC -- so within a cycle bids see the cycle-start buffer state,
+        the parallel-hardware semantics, instead of the ideal model's
+        sequential first-takes-it scan. Returns whether any unit is
+        still waiting (the caller's every-cycle-retry condition).
+        """
+        sim = self.sim
+        units = sim.units
+        credits = sim.credits
+        headers = sim._headers
+        unit_switch = sim._unit_switch
+        va_cycles = self.cfg.va_cycles
+
+        bids: dict[int, list[int]] = {}  # output VC unit -> bidder uids (asc)
+        plans: dict[int, tuple] = {}  # bidder uid -> (tid, opt, vc)
+        considered = granted = 0
+        for uid in header_sorted:
+            u = units[uid]
+            if u.state == _ROUTING and now >= u.route_done_cycle:
+                u.state = _WAIT_VC
+                self.rc_done += 1
+            if u.state != _WAIT_VC:
+                continue
+            considered += 1
+            self.va_requests += 1
+            pkt = u.packet
+            at_switch = unit_switch[uid]
+            if pkt.repoch != sim._reroute_epoch:
+                # Fault rerouting: same re-resolve as the ideal model.
+                pkt.rstate = sim.adapter.initial_state(at_switch, pkt.dst_switch)
+                pkt.repoch = sim._reroute_epoch
+            if at_switch == pkt.dst_switch:
+                # Ejection needs no downstream VC; it still pays VA.
+                u.out_unit = -(pkt.dst_host + 1)
+                u.state = _ACTIVE
+                u.sa_ready_cycle = now + va_cycles
+                headers.discard(uid)
+                self.va_grants += 1
+                granted += 1
+                continue
+            # VCT requires room for the whole packet downstream before
+            # the head advances; wormhole advances on any free slot.
+            need = pkt.size if sim.buffer_flits >= pkt.size else 1
+            chosen = None
+            for opt in sim.adapter.options(at_switch, pkt.dst_switch, pkt.rstate):
+                base = sim._chan_base[(at_switch, opt.next_node)]
+                for vc in opt.vc_indices:
+                    tid = base + vc
+                    tu = units[tid]
+                    if tu.packet is None and not tu.queue and credits[tid] >= need:
+                        chosen = (tid, opt, vc)
+                        break
+                if chosen is not None:
+                    break
+            if chosen is None:
+                continue  # no free candidate: stays WAIT_VC
+            bids.setdefault(chosen[0], []).append(uid)
+            plans[uid] = chosen
+
+        for tid, reqs in bids.items():
+            winner = self.va_arb.grant(tid, reqs)
+            self.va_grants += 1
+            granted += 1
+            _, opt, vc = plans[winner]
+            u = units[winner]
+            pkt = u.packet
+            units[tid].packet = pkt  # reserve the downstream VC
+            u.out_unit = tid
+            u.state = _ACTIVE
+            u.sa_ready_cycle = now + va_cycles
+            pkt.rstate = opt.new_rstate
+            pkt.hops += 1
+            if sim._tracer is not None:
+                sim._tracer.on_hop(
+                    sim._time_ns(now), pkt.pid, unit_switch[winner], opt.next_node, vc
+                )
+            headers.discard(winner)
+        # Arbitration losers and bidders with no free candidate stay in
+        # WAIT_VC and retry (re-running the adapter) next cycle.
+        return granted < considered
+
+    # ------------------------------------------------------------------
+    # SA + ST stages
+    # ------------------------------------------------------------------
+    def sa_tick(self, busy_sorted: list[int], now: int) -> int:
+        """Switch allocation: one flit per output resource per cycle.
+
+        Requests come from ACTIVE units whose head flit has arrived
+        (link pipelining) and whose VA grant has cleared the VA stage
+        (``sa_ready_cycle``); a request into a credit-less output is a
+        credit stall. One LRG grant per resource, then the traversal
+        (:meth:`_send`). Returns the number of resources granted.
+        """
+        sim = self.sim
+        units = sim.units
+        credits = sim.credits
+        requests: dict[int, list[int]] = {}
+        for uid in busy_sorted:
+            u = units[uid]
+            if u.state != _ACTIVE or not u.queue:
+                continue
+            if u.queue[0][0] > now or now < u.sa_ready_cycle:
+                continue
+            out = u.out_unit
+            if out < 0:
+                res = -out - 1  # ejection to host
+            else:
+                if credits[out] <= 0:
+                    self.credit_stalls += 1
+                    continue
+                res = sim._resource_of(out)  # physical channel
+            self.sa_requests += 1
+            requests.setdefault(res, []).append(uid)
+
+        for res, reqs in requests.items():
+            winner = self.sa_arb.grant(res, reqs)
+            self.sa_grants += 1
+            self._send(winner, now)
+        return len(requests)
+
+    def _send(self, uid: int, now: int) -> None:
+        """Crossbar traversal of one granted flit: the ideal model's
+        ``_send_flit`` shifted by the SA/ST depth beyond one cycle.
+        The credit for the freed input slot leaves at the grant cycle
+        (the slot is free the moment the flit enters the crossbar)."""
+        sim = self.sim
+        u = sim.units[uid]
+        _, flit_idx = u.queue.popleft()
+        pkt = u.packet
+        out = u.out_unit
+        is_tail = flit_idx == pkt.size - 1
+
+        if uid >= sim._inj_units:
+            sim._credit_due.append((now + sim.link_cycles, 1, uid))
+
+        stamp = now + self.st_lag + sim.link_cycles
+        if out < 0:
+            if is_tail:
+                sim._deliver(pkt, stamp)
+        else:
+            sim.credits[out] -= 1
+            if sim._chan_flits is not None:
+                sim._chan_flits[(out - sim._inj_units) // sim._v] += 1
+            tu = sim.units[out]
+            tu.queue.append((stamp, flit_idx))
+            sim._busy.add(out)
+            if flit_idx == 0:
+                tu.state = _ROUTING
+                tu.route_done_cycle = stamp + sim.router_cycles  # = rc_cycles
+                sim._headers.add(out)
+
+        if is_tail:
+            u.state = _IDLE
+            u.packet = None
+            u.out_unit = _NO_OUT
+            if not u.queue:
+                sim._busy.discard(uid)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def sample_stages(self) -> None:
+        """One per-stage occupancy snapshot (observation only)."""
+        rc = va = sa = 0
+        for u in self.sim.units:
+            if u.state == _ROUTING:
+                rc += 1
+            elif u.state == _WAIT_VC:
+                va += 1
+            elif u.state == _ACTIVE and u.queue:
+                sa += 1
+        self.occ_samples += 1
+        telemetry.observe("router.occ_rc", rc)
+        telemetry.observe("router.occ_va", va)
+        telemetry.observe("router.occ_sa", sa)
+
+    def flush_telemetry(self) -> None:
+        """Report the run totals (no-ops with telemetry disabled)."""
+        telemetry.count("router.rc_done", self.rc_done)
+        telemetry.count("router.va_requests", self.va_requests)
+        telemetry.count("router.va_grants", self.va_grants)
+        telemetry.count("router.sa_requests", self.sa_requests)
+        telemetry.count("router.sa_grants", self.sa_grants)
+        telemetry.count("router.credit_stalls", self.credit_stalls)
+        if self.va_requests:
+            telemetry.observe("router.va_grant_rate", self.va_grants / self.va_requests)
+        if self.sa_requests:
+            telemetry.observe("router.sa_grant_rate", self.sa_grants / self.sa_requests)

@@ -66,8 +66,18 @@ def config_fingerprint(cfg) -> dict:
     Uses ``asdict`` so a new config field automatically changes every
     key (a conservative failure mode: old entries miss, nothing is
     served under a stale configuration).
+
+    The nested router config is normalized to ``None`` in ``ideal``
+    mode: the pipeline parameters are inert there (the ideal model
+    reads none of them), so every ideal-mode key is independent of
+    them. Pipelined mode keeps the full parameter dict -- each stage
+    depth / VC buffer setting is its own simulation point.
     """
-    return {k: v for k, v in sorted(asdict(cfg).items())}
+    d = {k: v for k, v in sorted(asdict(cfg).items())}
+    router = d.get("router")
+    if isinstance(router, dict) and router.get("mode") == "ideal":
+        d["router"] = None
+    return d
 
 
 def schedule_fingerprint(schedule) -> list | None:

@@ -68,6 +68,34 @@ class TestCommands:
         assert "Figure 10" in out
         assert "uniform" in out
 
+    def test_fig10_flit_engine(self, capsys):
+        main(["fig10", "--loads", "2", "--n", "16", "--engine", "flit"])
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "uniform" in out
+
+    def test_fig10_pipelined_router_implies_flit(self, capsys):
+        # --router pipelined exists only in the flit engine; the CLI
+        # must switch engines rather than error out.
+        main(["fig10", "--loads", "2", "--n", "16", "--router", "pipelined"])
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+
+    def test_router_sweep_artifact(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "rs.json"
+        main(["router-sweep", "--vcs", "4", "--buffers", "33", "--depths", "2,38",
+              "--load", "1", "--n", "16", "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "hop lag" in out and "ideal" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "router-sweep"
+        # one ideal reference per VC count + the 1x1x2 grid
+        assert len(payload["rows"]) == 3
+        ideal = [r for r in payload["rows"] if r["hop_lag_cycles"] is None]
+        assert len(ideal) == 1
+
     def test_robustness(self, capsys):
         main(["robustness", "--n", "64", "--trials", "2"])
         out = capsys.readouterr().out
