@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.topologies.base import Topology
+from repro.util import shm
 from repro.util.parallel import parallel_map
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "hop_stats_from_dense",
     "streaming_hop_stats",
     "default_block_rows",
+    "block_hop_kernel",
+    "padded_neighbors",
+    "popcount_u64",
 ]
 
 _DISCONNECTED_MSG = "topology is disconnected; hop metrics are undefined"
@@ -53,12 +57,24 @@ _DISCONNECTED_MSG = "topology is disconnected; hop metrics are undefined"
 #: Default number of BFS sources per block (64 sources per uint64 lane).
 _DEFAULT_BLOCK_ROWS = 2048
 
+#: Broadcast name the block tasks read the padded neighbor table from.
+_PAD_BROADCAST = "bfs.pad"
+
 if hasattr(np, "bitwise_count"):
+    def popcount_u64(a: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts of a uint64 array."""
+        return np.bitwise_count(a)
+
     def _popcount_sum(a: np.ndarray) -> int:
         """Total set bits of a uint64 array."""
         return int(np.bitwise_count(a).sum(dtype=np.int64))
 else:  # numpy < 2.0: 16-bit lookup table
     _POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
+
+    def popcount_u64(a: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts of a uint64 array."""
+        lanes = np.ascontiguousarray(a).view(np.uint16).reshape(a.shape + (4,))
+        return _POP16[lanes].sum(axis=-1, dtype=np.int64)
 
     def _popcount_sum(a: np.ndarray) -> int:
         """Total set bits of a uint64 array."""
@@ -181,16 +197,16 @@ def padded_neighbors(topo: Topology) -> np.ndarray:
     return pad
 
 
-def _block_hop_partial(args: tuple) -> tuple[int, np.ndarray, np.ndarray, int]:
-    """BFS one source block; module-level for process-pool pickling.
+def block_hop_kernel(
+    pad: np.ndarray, n: int, start: int, stop: int
+) -> tuple[int, np.ndarray, np.ndarray, int]:
+    """Bit-parallel BFS of one source block over a padded neighbor table.
 
-    ``args`` is ``(pad, n, start, stop)``; returns ``(total_hops,
-    per-level pair counts, eccentricities of the block's sources,
-    number of (source, node) pairs reached incl. the sources
-    themselves)``.
+    Returns ``(total_hops, per-level pair counts, eccentricities of the
+    block's sources, number of (source, node) pairs reached incl. the
+    sources themselves)``. Pure: no telemetry, no broadcast lookup --
+    the percolation engine reuses it on survivor tables directly.
     """
-    pad, n, start, stop = args
-    t0 = time.perf_counter()
     b = stop - start
     w = (b + 63) // 64
     one = np.uint64(1)
@@ -226,10 +242,24 @@ def _block_hop_partial(args: tuple) -> tuple[int, np.ndarray, np.ndarray, int]:
         ecc[has_new] = level
         frontier[:n] = new
     reached = _popcount_sum(visited)
-    telemetry.count("bfs.blocks")
-    telemetry.count("bfs.pairs_reached", reached)
-    telemetry.observe("bfs.block_s", time.perf_counter() - t0)
     return total, np.asarray(counts, dtype=np.int64), ecc, reached
+
+
+def _block_hop_partial(args: tuple) -> tuple[int, np.ndarray, np.ndarray, int]:
+    """BFS one source block; module-level for process-pool pickling.
+
+    ``args`` is ``(n, start, stop)``: the padded neighbor table arrives
+    out-of-band as the ``bfs.pad`` broadcast array (shared memory on
+    the pool path), not in the task tuple.
+    """
+    n, start, stop = args
+    t0 = time.perf_counter()
+    pad = shm.get(_PAD_BROADCAST)
+    out = block_hop_kernel(pad, n, start, stop)
+    telemetry.count("bfs.blocks")
+    telemetry.count("bfs.pairs_reached", out[3])
+    telemetry.observe("bfs.block_s", time.perf_counter() - t0)
+    return out
 
 
 def streaming_hop_stats(
@@ -249,10 +279,15 @@ def streaming_hop_stats(
     _require_small_n(n)
     pad = padded_neighbors(topo)
     rows = default_block_rows(n) if block_rows is None else max(1, min(n, int(block_rows)))
-    blocks = [(pad, n, s, min(s + rows, n)) for s in range(0, n, rows)]
+    blocks = [(n, s, min(s + rows, n)) for s in range(0, n, rows)]
     t0 = time.perf_counter()
     with telemetry.span("analysis.streaming_hop_stats"):
-        parts = parallel_map(_block_hop_partial, blocks, workers=workers)
+        parts = parallel_map(
+            _block_hop_partial,
+            blocks,
+            workers=workers,
+            broadcast={_PAD_BROADCAST: pad},
+        )
     wall = time.perf_counter() - t0
     if wall > 0:
         # Block throughput: (source, node) pairs settled per second.

@@ -16,13 +16,14 @@ regenerated without writing code:
   related      related-work diameter-and-degree + DLN-x + greedy tables
   robustness   link-failure degradation and bisection bounds
   faults       degradation curves under link loss (streaming metrics)
+  percolation  coupled link-percolation sweep (fused incremental BFS)
   placement    cabinet-placement optimization gains (refs [7], [11])
   claims       machine-checked scorecard of every quantitative claim
   bench        benchmark smoke: timed sweep + cache/engine regression gate
   telemetry    run any subcommand with telemetry on, then export/summarize
   serve        HTTP daemon answering queries from the run store
   loadtest     replay a zipf-skewed query mix against the daemon
-  store        run-store maintenance (migrate between shard layouts)
+  store        run-store maintenance (migrate shard layouts, info, gc)
   design       multi-objective topology design-space optimizer
 = =========== =====================================================
 """
@@ -47,6 +48,18 @@ def _workers(arg: str) -> int:
 
         return os.cpu_count() or 1
     return max(0, int(arg))
+
+
+def _byte_size(arg: str) -> int:
+    """Parse a byte budget like '512M', '2G', '100K' or a plain integer."""
+    s = arg.strip().lower()
+    scale = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}.get(s[-1:], 1)
+    if scale != 1:
+        s = s[:-1]
+    try:
+        return int(float(s) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid byte size: {arg!r}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,6 +211,52 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--out", default="DEGRADATION.json", help="artifact path")
     fl.add_argument("--workers", type=_workers, default=None,
                     help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    fl.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                    help="persist trial results under DIR (sets REPRO_STORE_DIR)")
+    fl.add_argument("--resume", action="store_true",
+                    help="shorthand for --store-dir .repro-store: reuse every "
+                         "previously stored trial and persist new ones")
+    fl.add_argument("--no-store", action="store_true", dest="no_store",
+                    help="bypass the run store entirely (REPRO_STORE=off)")
+
+    pc = sub.add_parser(
+        "percolation",
+        help="coupled link-percolation sweep (incremental fused engine)",
+        description="Resilience sweep in the spirit of Demichev et al. "
+                    "(arXiv:1312.0510): per trial, one uniform draw per link; "
+                    "each fail fraction thresholds that field, so fault sets "
+                    "nest and the incremental engine settles every fraction "
+                    "in one fused bit-parallel BFS. Reports giant-component, "
+                    "component-count, reachability, ASPL and diameter decay; "
+                    "byte-identical to the naive per-point engine "
+                    "(--engine naive) for any worker count or REPRO_SHM "
+                    "setting. Writes a JSON artifact.",
+    )
+    pc.add_argument("--n", type=int, default=1024)
+    pc.add_argument("--fractions", type=lambda s: tuple(float(x) for x in s.split(",")),
+                    default=None,
+                    help="ascending fail fractions "
+                         "(default 0,0.01,0.02,0.05,0.10,0.15,0.20)")
+    pc.add_argument("--trials", type=int, default=None,
+                    help="coupled trials per kind (default REPRO_FAULT_TRIALS or 10)")
+    pc.add_argument("--kinds", type=lambda s: tuple(s.split(",")), default=None,
+                    help="topology kinds (default the paper trio)")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--engine", choices=["incremental", "naive"],
+                    default="incremental",
+                    help="fused multi-fraction engine, or the naive per-point "
+                         "baseline it is checked against")
+    pc.add_argument("--out", default="PERCOLATION.json", help="artifact path")
+    pc.add_argument("--workers", type=_workers, default=None,
+                    help="process-pool size (or 'auto'); default REPRO_WORKERS")
+    pc.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
+                    help="persist per-(trial, fraction) points under DIR "
+                         "(sets REPRO_STORE_DIR)")
+    pc.add_argument("--resume", action="store_true",
+                    help="shorthand for --store-dir .repro-store: reuse every "
+                         "previously stored point and persist new ones")
+    pc.add_argument("--no-store", action="store_true", dest="no_store",
+                    help="bypass the run store entirely (REPRO_STORE=off)")
 
     pl = sub.add_parser("placement", help="cabinet-placement optimization gains")
     pl.add_argument("--n", type=int, default=256)
@@ -293,13 +352,19 @@ def build_parser() -> argparse.ArgumentParser:
                     "(REPRO_STORE_DIR). 'migrate' re-homes every entry into "
                     "the layout of --shards (default REPRO_STORE_SHARDS) with "
                     "byte-identical renames and reaps stale lock files; "
-                    "'info' prints the layout and entry count.",
+                    "'info' prints the layout and entry count; 'gc' prunes "
+                    "the disk tier to --max-bytes, evicting least-recently-"
+                    "used entries first (evicted entries are recomputed on "
+                    "the next resumed sweep, never lost for correctness).",
     )
-    st.add_argument("action", choices=["migrate", "info"])
+    st.add_argument("action", choices=["migrate", "info", "gc"])
     st.add_argument("--store-dir", default=None, dest="store_dir", metavar="DIR",
                     help="the store to operate on (default REPRO_STORE_DIR)")
     st.add_argument("--shards", type=int, default=None,
                     help="target shard count (0 = flat legacy layout)")
+    st.add_argument("--max-bytes", type=_byte_size, default=None,
+                    dest="max_bytes", metavar="SIZE",
+                    help="gc byte budget; accepts K/M/G suffixes (e.g. 512M)")
 
     dsg = sub.add_parser(
         "design",
@@ -573,13 +638,42 @@ def _cmd_robustness(args) -> None:
     print(table)
 
 
+def _apply_store_flags(args) -> None:
+    """Map --no-store / --store-dir / --resume onto the store env knobs.
+
+    Env (not an API call) so spawn-mode pool workers inherit the choice.
+    """
+    import os
+
+    if args.no_store:
+        os.environ["REPRO_STORE"] = "off"
+    elif args.store_dir or args.resume:
+        os.environ["REPRO_STORE_DIR"] = args.store_dir or ".repro-store"
+        os.environ.pop("REPRO_STORE", None)
+
+
 def _cmd_faults(args) -> None:
     from repro.faults import DEFAULT_FRACTIONS, degradation_artifact
 
+    _apply_store_flags(args)
     fractions = args.fractions if args.fractions else DEFAULT_FRACTIONS
     table, _ = degradation_artifact(
         args.out, n=args.n, fractions=fractions, trials=args.trials,
         seed=args.seed, kinds=args.kinds, workers=args.workers,
+    )
+    print(table)
+    print(f"\nwrote {args.out}")
+
+
+def _cmd_percolation(args) -> None:
+    from repro.faults import DEFAULT_PERC_FRACTIONS, percolation_artifact
+
+    _apply_store_flags(args)
+    fractions = args.fractions if args.fractions else DEFAULT_PERC_FRACTIONS
+    table, _ = percolation_artifact(
+        args.out, n=args.n, fractions=fractions, trials=args.trials,
+        seed=args.seed, kinds=args.kinds, workers=args.workers,
+        engine=args.engine,
     )
     print(table)
     print(f"\nwrote {args.out}")
@@ -743,6 +837,17 @@ def _cmd_store(args) -> None:
             for err in report.errors:
                 print(f"  error: {err}", file=sys.stderr)
             sys.exit(1)
+    elif args.action == "gc":
+        if args.max_bytes is None:
+            print("store gc: --max-bytes is required (e.g. --max-bytes 512M)",
+                  file=sys.stderr)
+            sys.exit(2)
+        report = store.gc_store(d, max_bytes=args.max_bytes)
+        print(report.summary())
+        if not report.ok:
+            for err in report.errors:
+                print(f"  error: {err}", file=sys.stderr)
+            sys.exit(1)
     else:  # info
         layout = store_shards_mod.effective_shards(d)
         entries = sum(1 for _ in store_shards_mod.iter_entry_paths(d))
@@ -843,6 +948,7 @@ def _dispatch(argv: list[str] | None = None) -> None:
         "related": _cmd_related,
         "robustness": _cmd_robustness,
         "faults": _cmd_faults,
+        "percolation": _cmd_percolation,
         "placement": _cmd_placement,
         "report": _cmd_report,
         "diagram": _cmd_diagram,

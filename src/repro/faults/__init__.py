@@ -33,6 +33,15 @@ from repro.faults.models import (
     induced_survivor,
     sample_link_faults,
 )
+from repro.faults.percolation import (
+    DEFAULT_PERC_FRACTIONS,
+    PercolationPoint,
+    link_field,
+    percolation_artifact,
+    percolation_sweep,
+    percolation_trial,
+    slot_tables,
+)
 from repro.faults.schedule import FaultEvent, FaultSchedule, random_link_schedule
 from repro.faults.spatial import cabinet_burst_faults, cabinet_faults
 
@@ -56,4 +65,11 @@ __all__ = [
     "degradation_point",
     "degradation_curves",
     "degradation_artifact",
+    "PercolationPoint",
+    "DEFAULT_PERC_FRACTIONS",
+    "link_field",
+    "slot_tables",
+    "percolation_trial",
+    "percolation_sweep",
+    "percolation_artifact",
 ]

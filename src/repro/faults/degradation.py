@@ -37,7 +37,6 @@ from repro import store
 from repro.analysis.blocked import streaming_hop_stats
 from repro.faults.models import sample_link_faults
 from repro.util import format_table
-from repro.util.parallel import parallel_map
 
 __all__ = [
     "DegradationPoint",
@@ -170,7 +169,9 @@ def degradation_point(
         (kind, n, seed, fail_fraction, _entropy(seed, kind_idx, frac_idx, t))
         for t in range(trials)
     ]
-    results = parallel_map(_trial, jobs, workers=workers)
+    # dedup_map: identical trial jobs collapse before dispatch, and the
+    # store-backed _trial makes a killed sweep resume where it died.
+    results = store.dedup_map(_trial, jobs, workers=workers)
 
     ok = [r for r in results if r[0]]
     diams = [r[1] for r in ok]

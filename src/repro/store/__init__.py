@@ -33,6 +33,7 @@ from repro.store.keys import (
     sim_run_key,
 )
 from repro.store.runstore import (
+    GcReport,
     StoreStats,
     cached_sim,
     cached_value,
@@ -41,6 +42,7 @@ from repro.store.runstore import (
     disk_entry_path,
     fetch,
     find_disk_entry,
+    gc_store,
     get,
     get_or_run,
     migrate_store,
@@ -54,6 +56,7 @@ from repro.store.runstore import (
 
 __all__ = [
     "CODEC_VERSION",
+    "GcReport",
     "RunKey",
     "StoreStats",
     "cached_sim",
@@ -66,6 +69,7 @@ __all__ = [
     "encode_result",
     "fetch",
     "find_disk_entry",
+    "gc_store",
     "get",
     "get_or_run",
     "migrate_store",

@@ -90,6 +90,8 @@ __all__ = [
     "cached_value",
     "dedup_map",
     "migrate_store",
+    "GcReport",
+    "gc_store",
 ]
 
 
@@ -485,6 +487,93 @@ def migrate_store(d: str | None = None, shards: int | None = None):
     return _shards.migrate_store(d, shards=shards)
 
 
+@dataclass
+class GcReport:
+    """What :func:`gc_store` did."""
+
+    root: str
+    max_bytes: int
+    scanned: int = 0
+    total_bytes: int = 0  #: disk-tier size before eviction
+    evicted: int = 0
+    evicted_bytes: int = 0
+    kept_bytes: int = 0
+    errors: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.errors is None:
+            self.errors = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"gc {self.root} to <= {self.max_bytes} bytes: "
+            f"{self.evicted}/{self.scanned} entries evicted "
+            f"({self.evicted_bytes} bytes freed, {self.kept_bytes} kept)"
+            + (f", {len(self.errors)} error(s)" if self.errors else "")
+        )
+
+
+def gc_store(d: str | None = None, max_bytes: int = 0) -> GcReport:
+    """Prune the disk tier down to a byte budget, oldest entries first.
+
+    Long campaigns (percolation sweeps at dozens of fractions x trials)
+    accrete entries without bound; this evicts least-recently-*written*
+    entries (mtime order -- publishes are atomic renames, so mtime is
+    the publish time) until the tier fits ``max_bytes``. Each unlink is
+    taken under the entry's per-shard lock, so gc is safe to run beside
+    active writers; evicted digests are dropped from the in-process
+    memory tier too, so a later ``get`` recomputes instead of serving a
+    value the disk no longer backs.
+    """
+    d = d or store_dir()
+    if d is None:
+        raise ValueError("no store directory (pass one or set REPRO_STORE_DIR)")
+    if max_bytes < 0:
+        raise ValueError("max_bytes must be >= 0")
+    report = GcReport(root=d, max_bytes=max_bytes)
+    if not os.path.isdir(d):
+        return report
+    entries: list[tuple[float, str, int, str]] = []  # (mtime, path, size, digest)
+    for path in _shards.iter_entry_paths(d):
+        m = _shards._ENTRY_RE.match(os.path.basename(path))
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue  # raced with a concurrent gc/clear
+        entries.append((st.st_mtime, path, st.st_size, m.group("digest")))
+    entries.sort(key=lambda e: (e[0], e[1]))
+    report.scanned = len(entries)
+    report.total_bytes = sum(e[2] for e in entries)
+    excess = report.total_bytes - max_bytes
+    for mtime, path, size, digest in entries:
+        if excess <= 0:
+            break
+        lock = _shards.FileLock(_shards.shard_lock_path(d, digest))
+        lock.acquire()
+        try:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                excess -= size  # another gc got it; budget-wise it is gone
+                continue
+            except OSError as exc:
+                report.errors.append(f"{path}: {exc}")
+                continue
+        finally:
+            lock.release()
+        with _lock:
+            _memory.pop(digest, None)
+        report.evicted += 1
+        report.evicted_bytes += size
+        excess -= size
+    report.kept_bytes = report.total_bytes - report.evicted_bytes
+    return report
+
+
 # ----------------------------------------------------------------------
 # in-flight dedup scheduler
 # ----------------------------------------------------------------------
@@ -492,6 +581,7 @@ def dedup_map(
     fn: Callable[[T], R],
     jobs: Iterable[T],
     workers: int | None = None,
+    broadcast=None,
 ) -> list[R]:
     """Map ``fn`` over ``jobs`` running each *distinct* job exactly once.
 
@@ -501,7 +591,8 @@ def dedup_map(
     order and fan out through :func:`repro.util.parallel.parallel_map`;
     duplicates are filled in from the single computed result, so two
     identical points requested in one batch run once -- even with the
-    store disabled or cold.
+    store disabled or cold. ``broadcast`` is forwarded to
+    ``parallel_map`` (shared-memory fan-out of large read-only arrays).
     """
     from repro.util.parallel import parallel_map
 
@@ -517,5 +608,5 @@ def dedup_map(
         with _lock:
             _stats.inflight_dedup += duplicates
         telemetry.count("store.inflight_dedup", duplicates)
-    results = parallel_map(fn, unique, workers=workers)
+    results = parallel_map(fn, unique, workers=workers, broadcast=broadcast)
     return [results[index[job]] for job in jobs_list]

@@ -1,0 +1,171 @@
+"""Tests for the shared-memory broadcast substrate (repro.util.shm).
+
+The contract: ``broadcast=`` arrays observed by a task are equal bytes
+on every path -- serial, pooled shared-memory, pooled ``REPRO_SHM=off``
+pickle fallback -- and no ``/dev/shm`` segment outlives its publisher,
+even when a worker crashes mid-map.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.util import shm
+from repro.util.parallel import parallel_map, shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def clean_pool_and_segments(monkeypatch):
+    """Isolate each test: default env, no persistent pool, no segments."""
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    shutdown_pool()
+    yield
+    shutdown_pool()
+    shm.detach_all()
+    assert shm.live_segments() == []
+
+
+def _dev_shm_segments():
+    """repro-owned segment files visible in the OS shm filesystem."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm on this platform")
+    return sorted(glob.glob(f"/dev/shm/{shm.NAME_PREFIX}-*"))
+
+
+def _read_back(item):
+    """Task: sum the broadcast array plus the item (pool-picklable)."""
+    arr = shm.get("weights")
+    return float(arr.sum()) + item
+
+
+def _checksum_both(item):
+    a = shm.get("a")
+    b = shm.get("b")
+    return float(a.sum()), float(b.sum()), item
+
+
+def _crash(item):
+    if item == 3:
+        os._exit(13)  # simulate a hard worker crash (no cleanup runs)
+    return item
+
+
+class TestBroadcastObject:
+    def test_payload_is_refs_when_shared(self):
+        arr = np.arange(100, dtype=np.int64)
+        bc = shm.publish({"x": arr})
+        try:
+            assert bc.shared
+            payload = bc.payload()
+            assert isinstance(payload["x"], shm.ShmRef)
+            assert payload["x"].shape == (100,)
+        finally:
+            bc.release()
+        assert shm.live_segments() == []
+
+    def test_segment_round_trip_bytes(self):
+        arr = np.random.default_rng(0).random((37, 5))
+        bc = shm.publish({"x": arr})
+        try:
+            ref = bc.payload()["x"]
+            view = shm._attach(ref)
+            assert view.dtype == arr.dtype
+            assert not view.flags.writeable
+            np.testing.assert_array_equal(view, arr)
+        finally:
+            shm.detach_all()
+            bc.release()
+
+    def test_refcount_shares_one_publication(self):
+        bc = shm.publish({"x": np.ones(4)})
+        names = shm.live_segments()
+        assert len(names) == 1
+        bc.acquire()
+        bc.release()
+        assert shm.live_segments() == names  # still held by first ref
+        bc.release()
+        assert shm.live_segments() == []
+        with pytest.raises(ValueError):
+            bc.acquire()
+
+    def test_disabled_env_falls_back_to_arrays(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "off")
+        arr = np.arange(8)
+        bc = shm.publish({"x": arr})
+        try:
+            assert not bc.shared
+            np.testing.assert_array_equal(bc.payload()["x"], arr)
+            assert shm.live_segments() == []
+        finally:
+            bc.release()
+
+    def test_activate_nests_innermost_first(self):
+        outer = {"x": np.array([1])}
+        inner = {"x": np.array([2])}
+        with shm.activate(outer):
+            assert shm.get("x")[0] == 1
+            with shm.activate(inner):
+                assert shm.get("x")[0] == 2
+            assert shm.get("x")[0] == 1
+        with pytest.raises(KeyError):
+            shm.get("x")
+
+
+class TestParallelMapBroadcast:
+    def test_serial_and_pool_and_fallback_identical(self, monkeypatch):
+        arr = np.random.default_rng(1).random(1000)
+        items = list(range(6))
+        serial = parallel_map(_read_back, items, workers=0,
+                              broadcast={"weights": arr})
+        pooled = parallel_map(_read_back, items, workers=2,
+                              broadcast={"weights": arr})
+        monkeypatch.setenv("REPRO_SHM", "off")
+        fallback = parallel_map(_read_back, items, workers=2,
+                                broadcast={"weights": arr})
+        assert serial == pooled == fallback
+
+    def test_multiple_arrays_and_release_after_map(self):
+        a = np.arange(64, dtype=np.float64)
+        b = np.arange(16, dtype=np.int32)
+        out = parallel_map(_checksum_both, [0, 1, 2], workers=2,
+                           broadcast={"a": a, "b": b})
+        assert out == [(float(a.sum()), float(b.sum()), i) for i in range(3)]
+        # parallel_map's finally released its publication immediately.
+        assert shm.live_segments() == []
+
+    def test_prebuilt_broadcast_survives_map(self):
+        bc = shm.publish({"weights": np.ones(10)})
+        try:
+            out = parallel_map(_read_back, [1, 2], workers=2, broadcast=bc)
+            assert out == [11.0, 12.0]
+            assert shm.live_segments() != []  # caller's ref still holds it
+        finally:
+            bc.release()
+        assert shm.live_segments() == []
+
+
+class TestNoLeaks:
+    def test_no_segments_after_pool_shutdown(self):
+        before = _dev_shm_segments()
+        parallel_map(_read_back, list(range(8)), workers=2,
+                     broadcast={"weights": np.random.random(4096)})
+        shutdown_pool()
+        assert shm.live_segments() == []
+        assert _dev_shm_segments() == before
+
+    def test_worker_crash_leaks_nothing_and_pool_recovers(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        before = _dev_shm_segments()
+        with pytest.raises(BrokenProcessPool):
+            parallel_map(_crash, list(range(6)), workers=2,
+                         broadcast={"weights": np.ones(512)})
+        # The broadcast's finally ran despite the crash, and the crashed
+        # worker's attachment never unlinked the publisher's segment.
+        assert shm.live_segments() == []
+        assert _dev_shm_segments() == before
+        # Next call transparently gets a fresh, working pool.
+        assert parallel_map(_crash, [0, 1], workers=2) == [0, 1]

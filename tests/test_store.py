@@ -553,3 +553,64 @@ class TestExperimentWiring:
         table_b, stats_b = fault_table(n=64, fractions=(0.05,), trials=2, seed=0)
         assert store.store_stats().misses == misses
         assert table_a == table_b and stats_a == stats_b
+
+
+class TestGcStore:
+    def _populate(self, tmp_path, count):
+        """Write `count` distinct entries, oldest first, with distinct
+        mtimes; returns their paths in write (= mtime) order."""
+        paths = []
+        for i in range(count):
+            key = store.run_key("gc", {"i": i})
+            store.cached_value(key, lambda i=i: {"v": "x" * 50, "i": i})
+            path = store.find_disk_entry(key)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths.append(path)
+        return paths
+
+    def test_evicts_oldest_first_until_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        paths = self._populate(tmp_path, 6)
+        sizes = [os.path.getsize(p) for p in paths]
+        budget = sum(sizes[2:])  # exactly the four newest
+        report = store.gc_store(str(tmp_path), max_bytes=budget)
+        assert report.ok
+        assert report.scanned == 6 and report.evicted == 2
+        assert report.evicted_bytes == sum(sizes[:2])
+        assert report.kept_bytes == budget
+        assert [p for p in paths if os.path.exists(p)] == paths[2:]
+        assert "2/6 entries evicted" in report.summary()
+
+    def test_evicted_entries_leave_memory_tier_too(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        self._populate(tmp_path, 3)
+        report = store.gc_store(str(tmp_path), max_bytes=0)
+        assert report.evicted == 3 and report.kept_bytes == 0
+        # Neither tier serves an evicted digest: the next get recomputes.
+        assert store.get(store.run_key("gc", {"i": 0})) is None
+        calls = []
+        store.cached_value(
+            store.run_key("gc", {"i": 0}), lambda: calls.append(1) or {"v": 0}
+        )
+        assert calls == [1]
+
+    def test_within_budget_is_a_no_op(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        paths = self._populate(tmp_path, 3)
+        report = store.gc_store(str(tmp_path), max_bytes=10**9)
+        assert report.evicted == 0 and report.evicted_bytes == 0
+        assert all(os.path.exists(p) for p in paths)
+
+    def test_missing_and_empty_dirs(self, tmp_path):
+        report = store.gc_store(str(tmp_path / "never-created"), max_bytes=10)
+        assert report.ok and report.scanned == 0
+        with pytest.raises(ValueError):
+            store.gc_store(str(tmp_path), max_bytes=-1)
+        with pytest.raises(ValueError):
+            store.gc_store(None, max_bytes=10)  # no dir configured
+
+    def test_gc_leaves_no_stale_locks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        self._populate(tmp_path, 4)
+        store.gc_store(str(tmp_path), max_bytes=0)
+        assert list(store_shards_mod.iter_stale_locks(str(tmp_path))) == []
